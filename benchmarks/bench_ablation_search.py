@@ -1,0 +1,90 @@
+"""Ablation: what each search-framework component buys (paper §4.2).
+
+The paper's framework is A* + space pruning + redundancy elimination +
+comparative filtering, which together "significantly reduce the time
+complexity and make time-optimal search feasible".  This bench ablates
+the two toggleable components on a fixed workload and reports nodes
+expanded and distinct states:
+
+* ``informed`` — the admissible swap-aware heuristic (vs the bare
+  remaining-critical-path bound);
+* ``dominance`` — the comparative-analysis filter (equivalence checking
+  stays on; without it the search would not terminate in useful time).
+
+Every configuration must return the same optimal depth — the components
+are pure accelerators.
+"""
+
+import pytest
+
+from repro.arch import lnn
+from repro.circuit import uniform_latency
+from repro.circuit.generators import qft_skeleton, random_circuit
+from repro.core import OptimalMapper
+
+from .conftest import record_row
+
+CONFIGS = {
+    "full": dict(informed=True, dominance=True),
+    "no-dominance": dict(informed=True, dominance=False),
+    "uninformed": dict(informed=False, dominance=True),
+    "neither": dict(informed=False, dominance=False),
+}
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+def test_ablation_qft5_lnn(benchmark, config):
+    circuit = qft_skeleton(5)
+    mapper = OptimalMapper(lnn(5), uniform_latency(1, 1), **CONFIGS[config])
+    result = benchmark.pedantic(
+        lambda: mapper.map(circuit, initial_mapping=list(range(5))),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.depth == 13  # all configurations are exact
+    record_row(
+        benchmark,
+        config=config,
+        depth=result.depth,
+        nodes_expanded=result.stats["nodes_expanded"],
+        nodes_generated=result.stats["nodes_generated"],
+        distinct_states=result.stats["distinct_states"],
+        equivalent_dropped=result.stats["filtered_equivalent"],
+        dominated_dropped=result.stats["filtered_dominated"],
+    )
+
+
+@pytest.mark.parametrize("config", ["full", "neither"])
+def test_ablation_random_circuit(benchmark, config):
+    circuit = random_circuit(5, 10, two_qubit_fraction=0.8, seed=12)
+    mapper = OptimalMapper(
+        lnn(5), uniform_latency(1, 3), **CONFIGS[config]
+    )
+    result = benchmark.pedantic(
+        lambda: mapper.map(circuit, initial_mapping=list(range(5))),
+        rounds=1,
+        iterations=1,
+    )
+    record_row(
+        benchmark,
+        config=config,
+        depth=result.depth,
+        nodes_expanded=result.stats["nodes_expanded"],
+    )
+
+
+def test_full_config_dominates_ablations(benchmark):
+    """The complete framework expands the fewest nodes."""
+    circuit = qft_skeleton(5)
+
+    def run_all():
+        counts = {}
+        for name, flags in CONFIGS.items():
+            mapper = OptimalMapper(lnn(5), uniform_latency(1, 1), **flags)
+            result = mapper.map(circuit, initial_mapping=list(range(5)))
+            counts[name] = result.stats["nodes_expanded"]
+        return counts
+
+    counts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert counts["full"] <= min(counts.values()) * 1.01
+    record_row(benchmark, **counts)

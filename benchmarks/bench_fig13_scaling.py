@@ -1,0 +1,78 @@
+"""Figure 13: depth scaling of the three generalized QFT schedules.
+
+Regenerates the series behind the paper's asymptotic claims:
+
+* LNN butterfly (13a): 4n + O(1);
+* 2×N mixed (13b): 3n + O(1), matching Maslov's lower-bound prediction;
+* 2×N constrained (13c): 3n + O(1) with a +2 constant penalty.
+
+Also reports SWAP counts (n(n−1)/2-ish — linear-depth is bought with
+quadratically many SWAPs, which is why gate-count-optimal mappers behave
+differently on QFT).
+"""
+
+import pytest
+
+from repro.qft import (
+    qft_2xn_constrained_schedule,
+    qft_2xn_schedule,
+    qft_lnn_schedule,
+)
+from repro.verify import validate_result
+
+from .conftest import record_row
+
+SIZES = [8, 12, 16, 20, 24, 32]
+
+SCHEDULES = {
+    "lnn-butterfly": (qft_lnn_schedule, lambda n: 4 * n - 7),
+    "2xn-mixed": (qft_2xn_schedule, lambda n: 3 * n - 7),
+    "2xn-constrained": (qft_2xn_constrained_schedule, lambda n: 3 * n - 5),
+}
+
+
+@pytest.mark.parametrize("pattern", sorted(SCHEDULES))
+def test_depth_series(benchmark, pattern):
+    emit, formula = SCHEDULES[pattern]
+
+    def build_series():
+        return [emit(n) for n in SIZES]
+
+    series = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    depths = []
+    for n, result in zip(SIZES, series):
+        validate_result(result)
+        assert result.depth == formula(n)
+        depths.append(result.depth)
+    slopes = {
+        (b - a) // (m - n)
+        for (n, a), (m, b) in zip(
+            zip(SIZES, depths), list(zip(SIZES, depths))[1:]
+        )
+    }
+    record_row(
+        benchmark,
+        pattern=pattern,
+        sizes=SIZES,
+        depths=depths,
+        slope=sorted(slopes),
+        swaps_at_n32=series[-1].num_inserted_swaps,
+    )
+    # Linear scaling with the paper's slope (4 for LNN, 3 for 2xN).
+    expected_slope = 4 if pattern == "lnn-butterfly" else 3
+    assert slopes == {expected_slope}
+
+
+def test_2d_beats_1d_asymptotically(benchmark):
+    """The 2×N architecture's 3n beats LNN's 4n at every size."""
+
+    def gaps():
+        return [
+            qft_lnn_schedule(n).depth - qft_2xn_schedule(n).depth
+            for n in SIZES
+        ]
+
+    deltas = benchmark.pedantic(gaps, rounds=1, iterations=1)
+    assert all(d > 0 for d in deltas)
+    assert deltas == sorted(deltas)  # the gap grows with n
+    record_row(benchmark, sizes=SIZES, lnn_minus_2xn=deltas)

@@ -1,0 +1,57 @@
+"""Figure 14: constrained optimal QFT on 2×N (no SWAP/gate mixing).
+
+Regenerates the 19-cycle QFT-8 schedule and the 3n−5 family, and checks
+the two properties the paper highlights: no cycle mixes SWAPs with
+computation gates, and the final layout mirrors the initial one.
+"""
+
+import pytest
+
+from repro.analysis import is_mirrored_layout
+from repro.qft import (
+    qft_2xn_constrained_depth_formula,
+    qft_2xn_constrained_schedule,
+    qft_2xn_schedule,
+)
+from repro.verify import validate_result
+
+from .conftest import record_row
+
+
+@pytest.mark.parametrize("n", [8, 12, 16, 24])
+def test_constrained_pattern(benchmark, n):
+    result = benchmark(qft_2xn_constrained_schedule, n)
+    validate_result(result)
+    assert result.depth == qft_2xn_constrained_depth_formula(n) == 3 * n - 5
+    by_start = {}
+    for op in result.ops:
+        by_start.setdefault(op.start, set()).add(op.is_inserted_swap)
+    assert all(len(kinds) == 1 for kinds in by_start.values())
+    assert is_mirrored_layout(result)
+    record_row(
+        benchmark,
+        n=n,
+        measured_depth=result.depth,
+        paper_depth_qft8=19 if n == 8 else "",
+        mirrored_layout=True,
+    )
+
+
+def test_mixing_saves_two_cycles(benchmark):
+    """Fig. 12 vs Fig. 14: allowing SWAP ∥ gate saves exactly 2 cycles."""
+
+    def both():
+        return [
+            (n, qft_2xn_schedule(n).depth, qft_2xn_constrained_schedule(n).depth)
+            for n in (8, 12, 16)
+        ]
+
+    rows = benchmark(both)
+    for n, mixed, constrained in rows:
+        assert constrained - mixed == 2
+    record_row(
+        benchmark,
+        qft8_mixed=rows[0][1],
+        qft8_constrained=rows[0][2],
+        paper=(17, 19),
+    )

@@ -1,0 +1,76 @@
+"""Scalability of the practical mapper (paper §6.2: "scalable up to
+hundreds of thousands of gates").
+
+Measures routing time of the practical TOQM mapper against circuit size
+on IBM Q20 Tokyo and checks the growth is close to linear (the per-gate
+cost is bounded by the expansion caps and the look-ahead window, so time
+should scale ~O(gates); a super-quadratic blow-up would mean the pruning
+regressed).  Absolute per-gate cost is a pure-Python number — the paper's
+C++ implementation is a large constant factor faster.
+"""
+
+import time
+
+import pytest
+
+from repro.arch import ibm_tokyo
+from repro.circuit import IBM_LATENCY
+from repro.circuit.generators import random_circuit
+from repro.core import HeuristicMapper
+from repro.verify import validate_result
+
+from .conftest import full_mode, record_row
+
+SIZES = [125, 250, 500, 1000] + ([2000, 4000] if full_mode() else [])
+
+
+@pytest.mark.parametrize("num_gates", SIZES)
+def test_practical_mapper_scaling(benchmark, num_gates):
+    circuit = random_circuit(
+        16, num_gates, two_qubit_fraction=0.55, seed=17
+    )
+    arch = ibm_tokyo()
+    mapper = HeuristicMapper(arch, IBM_LATENCY)
+    result = benchmark.pedantic(
+        lambda: mapper.map(circuit), rounds=1, iterations=1
+    )
+    validate_result(result)
+    record_row(
+        benchmark,
+        gates=num_gates,
+        depth=result.depth,
+        swaps=result.num_inserted_swaps,
+        expansions=result.stats["nodes_expanded"],
+        expansions_per_gate=round(
+            result.stats["nodes_expanded"] / num_gates, 2
+        ),
+    )
+
+
+def test_growth_is_subquadratic(benchmark):
+    """Doubling the gate count should not quadruple the routing time."""
+    arch = ibm_tokyo()
+
+    def measure():
+        times = []
+        for gates in (250, 500, 1000):
+            circuit = random_circuit(
+                16, gates, two_qubit_fraction=0.55, seed=23
+            )
+            start = time.perf_counter()
+            HeuristicMapper(arch, IBM_LATENCY).map(circuit)
+            times.append(time.perf_counter() - start)
+        return times
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio_1 = times[1] / times[0]
+    ratio_2 = times[2] / times[1]
+    record_row(
+        benchmark,
+        seconds=[round(t, 2) for t in times],
+        doubling_ratios=[round(ratio_1, 2), round(ratio_2, 2)],
+    )
+    # Linear doubling ratio is 2; leave generous head-room for noise and
+    # the queue warm-up, but reject quadratic (4x) growth.
+    assert ratio_1 < 3.5
+    assert ratio_2 < 3.5

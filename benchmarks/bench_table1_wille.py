@@ -1,0 +1,83 @@
+"""Table 1: optimal cycles for the Wille building-block suite on IBM QX2.
+
+Latencies per the paper: SWAP 6 cycles, CX 2 cycles, single-qubit gates 1.
+Both the initial mapping and the transformed circuit are solved optimally
+(Section 5.3 mode 2), as in the paper.  Each row reports the measured
+ideal/optimal cycles next to the published ones; the benchmark time is the
+paper's "Mapper Overhead" column (theirs is C++ on a Xeon, ours is pure
+Python, so absolute numbers differ by a constant factor).
+
+Rows whose optimal search needs more than the per-row budget are reported
+as ``budget`` without failing; ``REPRO_BENCH_FULL=1`` raises the budget
+and runs every row.
+"""
+
+import pytest
+
+from repro.arch import ibm_qx2
+from repro.benchcircuits import TABLE1, wille_circuit
+from repro.circuit import TABLE1_LATENCY
+from repro.core import OptimalMapper, SearchBudgetExceeded
+from repro.verify import validate_result
+
+from .conftest import full_mode, record_row
+
+#: Rows measured to exceed a Python-friendly budget in default mode.
+_SLOW_ROWS = {"4mod5-v0_19", "alu-v3_34", "mod5d1_63", "mod5mils_65"}
+
+
+def _rows():
+    for row in TABLE1:
+        if full_mode() or row.name not in _SLOW_ROWS:
+            yield row
+
+
+@pytest.mark.parametrize("row", list(_rows()), ids=lambda r: r.name)
+def test_table1_row(benchmark, row):
+    circuit = wille_circuit(row.name)
+    budget = 900.0 if full_mode() else 60.0
+    mapper = OptimalMapper(
+        ibm_qx2(),
+        TABLE1_LATENCY,
+        search_initial_mapping=True,
+        max_seconds=budget,
+    )
+
+    def solve():
+        try:
+            return mapper.map(circuit)
+        except SearchBudgetExceeded:
+            return None
+
+    result = benchmark.pedantic(solve, rounds=1, iterations=1)
+    ideal = circuit.depth(TABLE1_LATENCY)
+    if result is None:
+        record_row(
+            benchmark,
+            benchmark_name=row.name,
+            measured_ideal=ideal,
+            measured_optimal="budget",
+            paper_ideal=row.ideal_cycle,
+            paper_optimal=row.optimal_cycle,
+        )
+        return
+    validate_result(result)
+    assert result.optimal
+    assert result.depth >= ideal
+    # Shape: rows the paper solves at the ideal depth are embeddable and
+    # must stay swap-free here too.
+    if row.optimal_cycle == row.ideal_cycle:
+        assert result.depth == ideal
+    record_row(
+        benchmark,
+        benchmark_name=row.name,
+        n=row.num_qubits,
+        gates=len(circuit),
+        measured_ideal=ideal,
+        measured_optimal=result.depth,
+        measured_overhead_cycles=result.depth - ideal,
+        paper_ideal=row.ideal_cycle,
+        paper_optimal=row.optimal_cycle,
+        paper_overhead_cycles=row.optimal_cycle - row.ideal_cycle,
+        paper_mapper_seconds=row.mapper_overhead_s,
+    )

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Rows print
+(under ``-s``) and are attached to the pytest-benchmark JSON via
+``extra_info`` so the comparison against the published numbers survives in
+the machine-readable output.
+
+Set ``REPRO_BENCH_FULL=1`` to run the expensive configurations (full-size
+Table 3 circuits, the QFT-8-on-2×4 exact search, the slow Table 1/2 rows).
+"""
+
+import os
+
+import pytest
+
+
+def full_mode() -> bool:
+    """True when the full (slow) benchmark configurations are requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def record_row(benchmark, **fields) -> None:
+    """Attach paper-vs-measured fields to the benchmark and print them."""
+    for key, value in fields.items():
+        benchmark.extra_info[key] = value
+    cells = "  ".join(f"{k}={v}" for k, v in fields.items())
+    print(f"\n  [{benchmark.name}] {cells}")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once (expensive mappers)."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    runner.benchmark = benchmark
+    return runner

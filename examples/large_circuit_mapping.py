@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Route a large circuit on IBM Q20 Tokyo: practical TOQM vs baselines.
+
+Reproduces one row of the paper's Table 3 workflow end to end: regenerate
+a large benchmark circuit, route it with the practical (approximate) TOQM
+mapper of Section 6.2 and with the SABRE and Zulehner baselines, verify
+every schedule independently, and report cycle counts and speedups.
+
+Run:  python examples/large_circuit_mapping.py [benchmark] [gate_cap]
+      e.g. python examples/large_circuit_mapping.py z4_268 1000
+"""
+
+import sys
+import time
+
+from repro import (
+    HeuristicMapper,
+    IBM_LATENCY,
+    SabreMapper,
+    ZulehnerMapper,
+    ibm_tokyo,
+    validate_result,
+)
+from repro.baselines import TrivialMapper
+from repro.benchcircuits import large_circuit, table3_row
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cm82a_208"
+    cap = int(sys.argv[2]) if len(sys.argv) > 2 else 1200
+
+    row = table3_row(name)
+    circuit = large_circuit(name, scale_gate_cap=cap)
+    arch = ibm_tokyo()
+    ideal = circuit.depth(IBM_LATENCY)
+
+    print(f"Benchmark     : {name} (published: {row.gate_count} gates, "
+          f"{row.num_qubits} qubits)")
+    print(f"Regenerated   : {len(circuit)} gates, ideal depth {ideal} cycles")
+    print(f"Architecture  : {arch}")
+    print(f"Latency model : 1q=1, cx=2, swap=6 (Table 3)")
+    print()
+
+    mappers = [
+        ("TOQM (practical)", HeuristicMapper(arch, IBM_LATENCY)),
+        ("SABRE", SabreMapper(arch, IBM_LATENCY, seed=0)),
+        ("Zulehner", ZulehnerMapper(arch, IBM_LATENCY)),
+        ("Trivial router", TrivialMapper(arch, IBM_LATENCY)),
+    ]
+    results = {}
+    for label, mapper in mappers:
+        start = time.perf_counter()
+        result = mapper.map(circuit)
+        elapsed = time.perf_counter() - start
+        validate_result(result)
+        results[label] = result
+        print(
+            f"{label:18s} depth {result.depth:>6} cycles   "
+            f"{result.num_inserted_swaps:>5} swaps   {elapsed:7.2f}s"
+        )
+
+    ours = results["TOQM (practical)"].depth
+    print()
+    print(f"Speedup vs SABRE    : {results['SABRE'].depth / ours:.3f}x "
+          f"(paper row: {row.speedup_vs_sabre:.3f}x)")
+    print(f"Speedup vs Zulehner : {results['Zulehner'].depth / ours:.3f}x "
+          f"(paper row: {row.speedup_vs_zulehner:.3f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop``); all metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""Reproduction of "Time-Optimal Qubit Mapping" (Zhang et al., ASPLOS 2021).
+
+The package implements the TOQM compiler pass — an A*-based qubit mapper
+that minimizes the cycle count (depth) of the whole transformed circuit —
+together with every substrate it needs (circuit IR, architectures,
+schedulers, verifiers), the baselines it is evaluated against (SABRE,
+Zulehner's layered A*, an OLSQ-style exact solver), the paper's structured
+QFT solutions, and a benchmark harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import OptimalMapper, ibm_qx2
+    from repro.circuit.generators import qft_skeleton
+
+    mapper = OptimalMapper(ibm_qx2(), search_initial_mapping=True)
+    result = mapper.map(qft_skeleton(4))
+    print(result.describe())
+"""
+
+from .arch import (
+    CouplingGraph,
+    fully_connected,
+    grid,
+    ibm_melbourne,
+    ibm_qx2,
+    ibm_tokyo,
+    lnn,
+    rigetti_aspen4,
+)
+from .baselines import OlsqStyleMapper, SabreMapper, TrivialMapper, ZulehnerMapper
+from .circuit import (
+    Circuit,
+    Gate,
+    IBM_LATENCY,
+    LatencyModel,
+    OLSQ_LATENCY,
+    QFT_LATENCY,
+    uniform_latency,
+)
+from .core import (
+    HeuristicMapper,
+    MappingProblem,
+    MappingResult,
+    OptimalMapper,
+    ScheduledOp,
+    SearchBudgetExceeded,
+)
+from .verify import VerificationError, validate_result
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "LatencyModel",
+    "uniform_latency",
+    "QFT_LATENCY",
+    "OLSQ_LATENCY",
+    "IBM_LATENCY",
+    "CouplingGraph",
+    "lnn",
+    "grid",
+    "fully_connected",
+    "ibm_qx2",
+    "ibm_tokyo",
+    "ibm_melbourne",
+    "rigetti_aspen4",
+    "OptimalMapper",
+    "HeuristicMapper",
+    "MappingProblem",
+    "MappingResult",
+    "ScheduledOp",
+    "SearchBudgetExceeded",
+    "SabreMapper",
+    "ZulehnerMapper",
+    "OlsqStyleMapper",
+    "TrivialMapper",
+    "validate_result",
+    "VerificationError",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Exact-analysis tooling: all-optimal enumeration, pattern detection,
+schedule rendering (paper Section 6.1 and Appendix B)."""
+
+from .compare import ComparisonReport, MapperComparison, compare_mappers
+from .all_optimal import enumerate_optimal, most_regular, regularity_score
+from .fidelity import NoiseModel, estimate_fidelity, fidelity_gain
+from .patterns import (
+    canonicalize_swap_gate_order,
+    cycle_signatures,
+    find_period,
+    is_mirrored_layout,
+)
+from .render import render_steps, render_timeline
+
+__all__ = [
+    "compare_mappers",
+    "ComparisonReport",
+    "MapperComparison",
+    "NoiseModel",
+    "estimate_fidelity",
+    "fidelity_gain",
+    "enumerate_optimal",
+    "most_regular",
+    "regularity_score",
+    "cycle_signatures",
+    "find_period",
+    "canonicalize_swap_gate_order",
+    "is_mirrored_layout",
+    "render_timeline",
+    "render_steps",
+]

@@ -1,0 +1,91 @@
+"""All-optimal-solutions enumeration and pattern mining (Appendix B).
+
+The paper's exact-analysis workflow needs *all* optimal solutions because
+"not all optimal solutions for small circuits have a recurring pattern" —
+one keeps the solver running past the first terminal, then picks the
+solution whose structure generalizes.  This module wraps that workflow:
+
+* :func:`enumerate_optimal` — every distinct optimal schedule (modulo
+  state-filter equivalence);
+* :func:`most_regular` — rank solutions by detected periodicity and
+  structural regularity, returning the best candidate for generalization
+  (the step the paper performs by hand in §6.1.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import Circuit
+from ..circuit.latency import LatencyModel
+from ..core.astar import OptimalMapper
+from ..core.result import MappingResult
+from .patterns import canonicalize_swap_gate_order, cycle_signatures, find_period
+
+
+def enumerate_optimal(
+    circuit: Circuit,
+    coupling: CouplingGraph,
+    latency: Optional[LatencyModel] = None,
+    initial_mapping: Optional[Sequence[int]] = None,
+    search_initial_mapping: bool = False,
+    max_solutions: int = 64,
+) -> List[MappingResult]:
+    """Collect distinct optimal schedules for a circuit.
+
+    Args:
+        circuit: Logical circuit.
+        coupling: Target architecture.
+        latency: Latency model.
+        initial_mapping: Fix the starting mapping (mode 1).
+        search_initial_mapping: Search the starting mapping (mode 2).
+        max_solutions: Enumeration cap.
+
+    Returns:
+        All optimal terminals popped before a strictly deeper node, each
+        independently reconstructable; every returned result has the same
+        (optimal) depth.
+    """
+    mapper = OptimalMapper(
+        coupling, latency, search_initial_mapping=search_initial_mapping
+    )
+    return mapper.find_all_optimal(
+        circuit, initial_mapping=initial_mapping, max_solutions=max_solutions
+    )
+
+
+def regularity_score(result: MappingResult) -> Tuple[int, int]:
+    """Structural-regularity key for ranking candidate solutions.
+
+    Higher is better: solutions with a detected cycle-shape period score
+    above aperiodic ones (shorter period preferred), ties broken by how
+    few distinct cycle signatures appear after the Appendix-B SWAP/gate
+    commutation normalization.
+    """
+    normalized = MappingResult(
+        circuit=result.circuit,
+        coupling=result.coupling,
+        latency=result.latency,
+        initial_mapping=result.initial_mapping,
+        ops=canonicalize_swap_gate_order(result.ops),
+        depth=result.depth,
+        optimal=result.optimal,
+    )
+    period = find_period(normalized, skip_prefix=0)
+    if period is None:
+        period = find_period(normalized, skip_prefix=1)
+    distinct = len(set(cycle_signatures(normalized)))
+    period_score = -period if period is not None else -10 ** 6
+    return (period_score, -distinct)
+
+
+def most_regular(solutions: Sequence[MappingResult]) -> MappingResult:
+    """The solution most likely to generalize (Appendix B's manual step).
+
+    Args:
+        solutions: Output of :func:`enumerate_optimal` (non-empty).
+    """
+    if not solutions:
+        raise ValueError("no solutions to rank")
+    return max(solutions, key=regularity_score)

@@ -1,0 +1,131 @@
+"""Side-by-side mapper comparison — the Table 3 workflow as a library call.
+
+``compare_mappers`` routes one circuit with several mappers, verifies
+every schedule (structurally, and semantically when the circuit is small
+enough to simulate), and returns a report with depths, SWAP counts,
+estimated fidelities and speedups — the row format of the paper's
+Table 3.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import Circuit
+from ..circuit.latency import LatencyModel, uniform_latency
+from ..core.result import MappingResult
+from ..verify.checker import validate_result
+from .fidelity import NoiseModel, estimate_fidelity
+
+
+@dataclass
+class MapperComparison:
+    """One mapper's outcome within a comparison."""
+
+    label: str
+    result: MappingResult
+    seconds: float
+    fidelity: float
+
+    @property
+    def depth(self) -> int:
+        """Transformed-circuit depth in cycles."""
+        return self.result.depth
+
+    @property
+    def swaps(self) -> int:
+        """Number of inserted SWAP gates."""
+        return self.result.num_inserted_swaps
+
+
+@dataclass
+class ComparisonReport:
+    """Every mapper's outcome on one circuit/architecture pair."""
+
+    circuit: Circuit
+    coupling: CouplingGraph
+    ideal_depth: int
+    entries: List[MapperComparison] = field(default_factory=list)
+
+    def best(self) -> MapperComparison:
+        """The entry with the smallest transformed-circuit depth."""
+        return min(self.entries, key=lambda e: e.depth)
+
+    def speedups(self, reference_label: str) -> Dict[str, float]:
+        """Depth ratios of every entry relative to one mapper."""
+        reference = next(
+            e for e in self.entries if e.label == reference_label
+        )
+        return {
+            e.label: e.depth / reference.depth for e in self.entries
+        }
+
+    def to_table(self) -> str:
+        """Formatted comparison table."""
+        lines = [
+            f"{'mapper':20s} {'depth':>7} {'swaps':>6} {'fidelity':>9} "
+            f"{'seconds':>8}",
+            f"{'(ideal)':20s} {self.ideal_depth:>7}",
+        ]
+        for entry in sorted(self.entries, key=lambda e: e.depth):
+            lines.append(
+                f"{entry.label:20s} {entry.depth:>7} {entry.swaps:>6} "
+                f"{entry.fidelity:>9.4f} {entry.seconds:>8.2f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_mappers(
+    circuit: Circuit,
+    coupling: CouplingGraph,
+    mappers: Sequence[Tuple[str, object]],
+    latency: Optional[LatencyModel] = None,
+    noise: NoiseModel = NoiseModel(),
+    simulate_up_to: int = 10,
+) -> ComparisonReport:
+    """Route ``circuit`` with every mapper and verify all results.
+
+    Args:
+        circuit: The logical circuit.
+        coupling: Target architecture.
+        mappers: ``(label, mapper)`` pairs; each mapper needs a
+            ``map(circuit)`` method returning a :class:`MappingResult`.
+        latency: Latency model used for the ideal-depth column.
+        noise: Noise model for the fidelity estimates.
+        simulate_up_to: Run the state-vector semantic check when the
+            architecture has at most this many qubits.
+
+    Returns:
+        A verified :class:`ComparisonReport`.
+    """
+    if latency is None:
+        latency = uniform_latency()
+    report = ComparisonReport(
+        circuit=circuit,
+        coupling=coupling,
+        ideal_depth=circuit.depth(latency),
+    )
+    for label, mapper in mappers:
+        start = time.perf_counter()
+        result = mapper.map(circuit)
+        elapsed = time.perf_counter() - start
+        validate_result(result)
+        if coupling.num_qubits <= simulate_up_to:
+            from ..verify.simulator import assert_semantically_equivalent
+
+            try:
+                assert_semantically_equivalent(result)
+            except NotImplementedError:
+                pass  # circuit uses gates without known matrices
+        report.entries.append(
+            MapperComparison(
+                label=label,
+                result=result,
+                seconds=elapsed,
+                fidelity=estimate_fidelity(result, noise),
+            )
+        )
+    return report

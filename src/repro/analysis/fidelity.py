@@ -1,0 +1,100 @@
+"""Decoherence-aware fidelity estimation for transformed circuits.
+
+The paper's Section 1 motivates time-optimality through reliability: "a
+qubit decoheres over time … the longer a qubit operates, the less reliable
+it is.  A time-optimal solution minimizes the impact of decoherence."
+This module quantifies that claim with the standard exponential model:
+
+* each qubit decoheres as ``exp(-t_active / T)`` where ``t_active`` is the
+  number of cycles between the qubit's first activation and the end of its
+  last gate (idling while entangled still decoheres);
+* each executed gate contributes a success factor ``1 - ε`` (two-qubit
+  gates, including the CNOTs inside inserted SWAPs, dominate the error).
+
+The absolute numbers are model-dependent; what reproduces the paper's
+argument is the *ordering*: a deeper schedule of the same circuit always
+scores a lower estimated fidelity, so time-optimal mapping maximizes this
+estimate among schedules with equal SWAP counts, and trades depth against
+SWAP count otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.result import MappingResult
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """A simple homogeneous noise model.
+
+    Attributes:
+        coherence_cycles: Decoherence time ``T`` in scheduler cycles.
+        single_qubit_error: Error probability per 1-qubit gate.
+        two_qubit_error: Error probability per 2-qubit gate (a SWAP counts
+            as ``swap_cnot_count`` two-qubit gates).
+        swap_cnot_count: CNOTs per inserted SWAP (3 on bidirectional
+            links, Section 2.2).
+    """
+
+    coherence_cycles: float = 2000.0
+    single_qubit_error: float = 0.0005
+    two_qubit_error: float = 0.005
+    swap_cnot_count: int = 3
+
+
+def estimate_fidelity(
+    result: MappingResult, noise: NoiseModel = NoiseModel()
+) -> float:
+    """Estimated success probability of a transformed circuit.
+
+    Args:
+        result: A verified mapping result.
+        noise: Noise parameters.
+
+    Returns:
+        A value in ``(0, 1]``; higher is better.
+    """
+    gate_factor = 1.0
+    first_use = {}
+    last_use = {}
+    for op in result.ops:
+        if op.is_inserted_swap:
+            error = 1.0 - (1.0 - noise.two_qubit_error) ** noise.swap_cnot_count
+        elif len(op.physical_qubits) == 2:
+            error = noise.two_qubit_error
+        else:
+            error = noise.single_qubit_error
+        gate_factor *= 1.0 - error
+        for p in op.physical_qubits:
+            if p not in first_use:
+                first_use[p] = op.start
+            last_use[p] = max(last_use.get(p, 0), op.end)
+
+    active_cycles = sum(
+        last_use[p] - first_use[p] for p in first_use
+    )
+    decoherence_factor = math.exp(-active_cycles / noise.coherence_cycles)
+    return gate_factor * decoherence_factor
+
+
+def fidelity_gain(
+    better: MappingResult,
+    worse: MappingResult,
+    noise: NoiseModel = NoiseModel(),
+) -> float:
+    """Relative fidelity improvement of one schedule over another.
+
+    Args:
+        better: Typically the time-optimal schedule.
+        worse: Typically a baseline schedule of the same circuit.
+
+    Returns:
+        ``estimate(better) / estimate(worse) - 1`` (positive when the
+        first schedule is more reliable).
+    """
+    if better.circuit is not worse.circuit and better.circuit != worse.circuit:
+        raise ValueError("fidelity comparison needs the same logical circuit")
+    return estimate_fidelity(better, noise) / estimate_fidelity(worse, noise) - 1.0

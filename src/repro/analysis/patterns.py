@@ -1,0 +1,165 @@
+"""Pattern analysis of optimal schedules (paper Section 6.1, Appendix B).
+
+The paper's exact-analysis methodology is: solve small instances optimally,
+then *generalize recurring patterns* by hand.  This module mechanizes the
+observations that make that possible:
+
+* :func:`cycle_signatures` — a structural fingerprint of each cycle;
+* :func:`find_period` — detect a repeating motif in the signature stream
+  (the QFT-on-LNN butterfly has period 2, the 2×N patterns period 3);
+* :func:`canonicalize_swap_gate_order` — the Appendix-B commutation: a
+  SWAP immediately followed by a two-qubit gate on the same physical pair
+  is equivalent to the gate (operands reversed) followed by the SWAP, and
+  vice versa; normalizing to gate-before-SWAP exposes recurring patterns
+  hidden by arbitrary solver orderings;
+* :func:`is_mirrored_layout` — checks the initial/final layout mirror
+  property the paper notes for its structured QFT schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.result import MappingResult, ScheduledOp
+
+
+def cycle_signatures(result: MappingResult) -> List[Tuple]:
+    """Structural fingerprint per busy cycle.
+
+    Each signature is the sorted tuple of ``(kind, physical_pair)`` for
+    operations *starting* in that cycle, with empty cycles omitted.
+    """
+    by_start: Dict[int, List[Tuple]] = {}
+    for op in result.ops:
+        kind = "s" if op.is_inserted_swap else "g"
+        by_start.setdefault(op.start, []).append(
+            (kind, tuple(sorted(op.physical_qubits)))
+        )
+    return [tuple(sorted(by_start[t])) for t in sorted(by_start)]
+
+
+def _kind_profile(signature: Tuple) -> Tuple:
+    """Reduce a cycle signature to its op-kind multiset (shape only)."""
+    return tuple(sorted(kind for kind, _pair in signature))
+
+
+def find_period(
+    result: MappingResult,
+    max_period: int = 6,
+    skip_prefix: int = 1,
+    min_repeats: int = 2,
+) -> Optional[int]:
+    """Detect the repetition period of a schedule's cycle shapes.
+
+    Compares the per-cycle *kind profiles* (how many gates vs SWAPs start
+    each cycle is allowed to grow/shrink across repeats — it's the
+    gate/SWAP alternation structure that recurs, not the op counts), so it
+    looks for the smallest period ``p`` such that cycles ``i`` and
+    ``i + p`` agree on which kinds are present, for all interior cycles.
+
+    Args:
+        result: Schedule to analyze.
+        max_period: Largest period to try.
+        skip_prefix: Irregular warm-up cycles to ignore.
+        min_repeats: Minimum motif repetitions required.
+
+    Returns:
+        The smallest matching period, or ``None``.
+    """
+    signatures = cycle_signatures(result)[skip_prefix:]
+    profiles = [frozenset(kind for kind, _ in sig) for sig in signatures]
+    interior = profiles[:-1] if len(profiles) > 1 else profiles
+    for period in range(1, max_period + 1):
+        if len(interior) < period * min_repeats:
+            continue
+        if all(
+            interior[i] == interior[i + period]
+            for i in range(len(interior) - period)
+        ):
+            return period
+    return None
+
+
+def canonicalize_swap_gate_order(
+    ops: Sequence[ScheduledOp],
+) -> List[ScheduledOp]:
+    """Normalize SWAP-then-gate adjacencies to gate-then-SWAP (Appendix B).
+
+    When an inserted SWAP on a physical pair is immediately followed by a
+    two-qubit gate on the same pair, the two operations commute up to
+    reversing the gate's operands.  Normalizing exposes recurring motifs:
+    the paper's Fig. 16 solution becomes Fig. 2(c) under this transform.
+
+    Only the schedule *structure* is rewritten (start cycles are
+    exchanged); the result is equivalent cycle-for-cycle.
+    """
+    ordered = sorted(ops, key=lambda o: (o.start, o.physical_qubits))
+    out = list(ordered)
+    changed = True
+    while changed:
+        changed = False
+        by_pair: Dict[Tuple[int, ...], List[int]] = {}
+        for index, op in enumerate(out):
+            by_pair.setdefault(tuple(sorted(op.physical_qubits)), []).append(index)
+        for indices in by_pair.values():
+            for a, b in zip(indices, indices[1:]):
+                first, second = out[a], out[b]
+                if (
+                    first.is_inserted_swap
+                    and not second.is_inserted_swap
+                    and len(second.physical_qubits) == 2
+                    and first.end == second.start
+                ):
+                    moved_gate = ScheduledOp(
+                        gate_index=second.gate_index,
+                        name=second.name,
+                        logical_qubits=second.logical_qubits,
+                        physical_qubits=(
+                            second.physical_qubits[1],
+                            second.physical_qubits[0],
+                        ),
+                        start=first.start,
+                        duration=second.duration,
+                    )
+                    moved_swap = ScheduledOp(
+                        gate_index=None,
+                        name=first.name,
+                        logical_qubits=first.logical_qubits,
+                        physical_qubits=first.physical_qubits,
+                        start=first.start + second.duration,
+                        duration=first.duration,
+                    )
+                    out[a], out[b] = moved_gate, moved_swap
+                    changed = True
+        if changed:
+            out.sort(key=lambda o: (o.start, o.physical_qubits))
+    return out
+
+
+def is_mirrored_layout(result: MappingResult) -> bool:
+    """True when the final layout is the left-right mirror of the initial.
+
+    For LNN this means logical qubit at ``Q_i`` ends at ``Q_{n-1-i}``; on a
+    2×N grid (column-major numbering) the column order reverses within
+    each row.  The paper's structured QFT schedules have this property
+    once the cosmetic final SWAP layer is included — with it dropped (as
+    our emitters do), the check is expected to be False for them.
+    """
+    n = result.coupling.num_qubits
+    final = result.final_mapping()
+    if result.coupling.name.startswith("lnn"):
+        return all(final[l] == n - 1 - result.initial_mapping[l]
+                   for l in range(len(final)))
+    if result.coupling.name.startswith("grid-2x"):
+        cols = n // 2
+
+        def mirror(p: int) -> int:
+            """Column-reversed physical index on the 2xN grid."""
+            row, col = p % 2, p // 2
+            return 2 * (cols - 1 - col) + row
+
+        return all(
+            final[l] == mirror(result.initial_mapping[l])
+            for l in range(len(final))
+        )
+    raise ValueError(f"no mirror notion for architecture {result.coupling.name}")

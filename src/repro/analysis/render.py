@@ -1,0 +1,89 @@
+"""ASCII rendering of schedules — how the paper's figures are drawn.
+
+Two views:
+
+* :func:`render_timeline` — one row per physical qubit, one column per
+  cycle (``-G-`` computation, ``=S=`` SWAP), the view of Figs. 2(c)/16;
+* :func:`render_steps` — one block per cycle showing the logical-qubit
+  layout with the operations applied that cycle, the view of
+  Figs. 11/12/14.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.result import MappingResult
+
+
+def render_timeline(result: MappingResult, max_cycles: int = 80) -> str:
+    """Qubit-by-cycle ASCII timeline of a schedule.
+
+    Args:
+        result: The schedule to render.
+        max_cycles: Truncate the view after this many cycles.
+    """
+    width = min(result.depth, max_cycles)
+    rows: List[List[str]] = [
+        [" . "] * width for _ in range(result.coupling.num_qubits)
+    ]
+    for op in result.ops:
+        if op.start >= max_cycles:
+            continue
+        mark = "=S=" if op.is_inserted_swap else "-G-"
+        for p in op.physical_qubits:
+            for t in range(op.start, min(op.end, max_cycles)):
+                rows[p][t] = mark
+    lines = [f"Q{p:<3}" + "".join(row) for p, row in enumerate(rows)]
+    header = "    " + "".join(f"{t % 100:^3}" for t in range(width))
+    suffix = "" if result.depth <= max_cycles else f"\n... ({result.depth - max_cycles} more cycles)"
+    return header + "\n" + "\n".join(lines) + suffix
+
+
+def render_steps(result: MappingResult, max_cycles: int = 40) -> str:
+    """Step-by-step layout view (the Fig. 11/12/14 presentation).
+
+    Each block shows the cycle number, the logical qubit occupying every
+    physical qubit at the *start* of the cycle, and the operations that
+    begin that cycle.
+    """
+    num_physical = result.coupling.num_qubits
+    inverse = [-1] * num_physical
+    for logical, physical in enumerate(result.initial_mapping):
+        inverse[physical] = logical
+
+    events = {}
+    for op in result.ops:
+        events.setdefault(op.start, []).append(op)
+    swap_effects = sorted(
+        (op.end, op.physical_qubits)
+        for op in result.ops
+        if op.name == "swap" and op.is_inserted_swap
+    )
+
+    blocks: List[str] = []
+    effect_index = 0
+    for cycle in sorted(events):
+        if cycle >= max_cycles:
+            blocks.append(f"... (cycles beyond {max_cycles} omitted)")
+            break
+        while (
+            effect_index < len(swap_effects)
+            and swap_effects[effect_index][0] <= cycle
+        ):
+            p, q = swap_effects[effect_index][1]
+            inverse[p], inverse[q] = inverse[q], inverse[p]
+            effect_index += 1
+        layout = " ".join(
+            f"q{inverse[p]}" if inverse[p] >= 0 else "--"
+            for p in range(num_physical)
+        )
+        ops_text = "; ".join(
+            ("SWAP" if op.is_inserted_swap else op.name.upper())
+            + "("
+            + ",".join(f"Q{p}" for p in op.physical_qubits)
+            + ")"
+            for op in sorted(events[cycle], key=lambda o: o.physical_qubits)
+        )
+        blocks.append(f"cycle {cycle:>3} | {layout} | {ops_text}")
+    return "\n".join(blocks)

@@ -1,0 +1,34 @@
+"""Hardware coupling graphs and the paper's architecture library."""
+
+from .coupling import CouplingGraph, find_swap_free_mapping
+from .library import (
+    architecture_names,
+    by_name,
+    fully_connected,
+    grid,
+    grid2by3,
+    grid2by4,
+    grid_index,
+    ibm_melbourne,
+    ibm_qx2,
+    ibm_tokyo,
+    lnn,
+    rigetti_aspen4,
+)
+
+__all__ = [
+    "CouplingGraph",
+    "find_swap_free_mapping",
+    "lnn",
+    "grid",
+    "grid_index",
+    "grid2by3",
+    "grid2by4",
+    "fully_connected",
+    "ibm_qx2",
+    "ibm_tokyo",
+    "ibm_melbourne",
+    "rigetti_aspen4",
+    "by_name",
+    "architecture_names",
+]

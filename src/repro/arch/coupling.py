@@ -1,0 +1,177 @@
+"""Hardware coupling graphs.
+
+A coupling graph (Fig. 1a / Fig. 3 of the paper) lists which physical qubit
+pairs support direct two-qubit interactions.  The mapper only needs adjacency
+tests, neighbor lists, all-pairs shortest-path distances (for the heuristic's
+``d(a, b)``), and the longest-simple-path bound used to cap the free initial
+SWAP prefix (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+
+class CouplingGraph:
+    """An undirected bounded-degree graph over physical qubits ``0..n-1``.
+
+    Args:
+        num_qubits: Number of physical qubits.
+        edges: Iterable of undirected edges ``(p, q)``.
+        name: Optional architecture label for reports.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        edges: Iterable[Tuple[int, int]],
+        name: str = "",
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("architecture needs at least one physical qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        edge_set = set()
+        for p, q in edges:
+            if p == q:
+                raise ValueError(f"self-loop on physical qubit {p}")
+            if not (0 <= p < num_qubits and 0 <= q < num_qubits):
+                raise ValueError(f"edge ({p}, {q}) outside 0..{num_qubits - 1}")
+            edge_set.add((min(p, q), max(p, q)))
+        self.edges: Tuple[Tuple[int, int], ...] = tuple(sorted(edge_set))
+        self._adjacent: FrozenSet[Tuple[int, int]] = frozenset(
+            pair for edge in self.edges for pair in (edge, edge[::-1])
+        )
+        self._neighbors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(q for p2, q in self._adjacent if p2 == p))
+            for p in range(num_qubits)
+        )
+        self._distance = self._all_pairs_distances()
+        if num_qubits > 1 and any(
+            d >= num_qubits for row in self._distance for d in row
+        ):
+            raise ValueError("coupling graph must be connected")
+
+    def _all_pairs_distances(self) -> List[List[int]]:
+        """BFS from every qubit; unreachable pairs get ``num_qubits``."""
+        n = self.num_qubits
+        dist = [[n] * n for _ in range(n)]
+        for source in range(n):
+            row = dist[source]
+            row[source] = 0
+            queue = deque([source])
+            while queue:
+                p = queue.popleft()
+                for q in self._neighbors[p]:
+                    if row[q] == n:
+                        row[q] = row[p] + 1
+                        queue.append(q)
+        return dist
+
+    # ------------------------------------------------------------------
+    def are_adjacent(self, p: int, q: int) -> bool:
+        """True if physical qubits ``p`` and ``q`` share a link."""
+        return (p, q) in self._adjacent
+
+    def neighbors(self, p: int) -> Tuple[int, ...]:
+        """Physical qubits directly linked to ``p``."""
+        return self._neighbors[p]
+
+    def distance(self, p: int, q: int) -> int:
+        """Shortest-path distance (number of links) between ``p`` and ``q``."""
+        return self._distance[p][q]
+
+    @property
+    def distance_matrix(self) -> List[List[int]]:
+        """The full all-pairs shortest-path matrix (do not mutate)."""
+        return self._distance
+
+    @property
+    def diameter(self) -> int:
+        """Largest shortest-path distance between any two qubits."""
+        return max(max(row) for row in self._distance)
+
+    def longest_simple_path_bound(self) -> int:
+        """Upper bound on the longest simple path between any two qubits.
+
+        Section 5.3 caps the free initial-mapping SWAP prefix at ``d`` =
+        the maximum-length simple path in the architecture.  Computing it
+        exactly is NP-hard in general, so for graphs beyond a size cutoff
+        we return the trivially safe bound ``num_qubits - 1``; for the
+        small architectures the optimal mapper targets we compute it
+        exactly with a DFS.
+        """
+        n = self.num_qubits
+        if n > 12:
+            return n - 1
+        best = 0
+        adjacency = self._neighbors
+
+        def extend(path_last: int, visited: int, length: int) -> None:
+            nonlocal best
+            best = max(best, length)
+            for q in adjacency[path_last]:
+                bit = 1 << q
+                if not visited & bit:
+                    extend(q, visited | bit, length + 1)
+
+        for start in range(n):
+            extend(start, 1 << start, 0)
+        return best
+
+    def to_networkx(self) -> "nx.Graph":
+        """The coupling graph as a :class:`networkx.Graph`."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qubits))
+        graph.add_edges_from(self.edges)
+        return graph
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<CouplingGraph{label}: {self.num_qubits} qubits, "
+            f"{len(self.edges)} edges>"
+        )
+
+
+def find_swap_free_mapping(
+    interaction_edges: Sequence[Tuple[int, int]],
+    coupling: CouplingGraph,
+    num_logical: int,
+) -> "Dict[int, int] | None":
+    """Find a logical→physical assignment satisfying *all* interactions.
+
+    This is the fast path the paper uses before Table 2 runs: "we first
+    tried to find an initial mapping that could satisfy all CNOTs in the
+    circuit without swaps".  It is a subgraph-monomorphism query: embed
+    the circuit's interaction graph into the coupling graph.
+
+    Args:
+        interaction_edges: Distinct logical-qubit pairs that interact.
+        coupling: The hardware graph.
+        num_logical: Number of logical qubits (isolated ones allowed).
+
+    Returns:
+        A dict mapping every logical qubit to a distinct physical qubit,
+        or ``None`` if no swap-free mapping exists.
+    """
+    if num_logical > coupling.num_qubits:
+        return None
+    pattern = nx.Graph()
+    pattern.add_nodes_from(range(num_logical))
+    pattern.add_edges_from(interaction_edges)
+    host = coupling.to_networkx()
+    matcher = nx.algorithms.isomorphism.GraphMatcher(host, pattern)
+    for mapping in matcher.subgraph_monomorphisms_iter():
+        # networkx yields host→pattern; invert to logical→physical.
+        inverted = {logical: physical for physical, logical in mapping.items()}
+        used = set(inverted.values())
+        spare = [p for p in range(coupling.num_qubits) if p not in used]
+        for logical in range(num_logical):
+            if logical not in inverted:
+                inverted[logical] = spare.pop()
+        return inverted
+    return None

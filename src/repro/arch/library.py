@@ -1,0 +1,146 @@
+"""The architectures used in the paper's evaluation.
+
+All are reconstructed from their published edge lists:
+
+* ``lnn(n)`` — linear nearest neighbor (Sections 3, 6.1.1, Fig. 2a).
+* ``grid(rows, cols)`` — rectangular lattice; ``grid(2, N)`` is the paper's
+  2×N architecture (Fig. 3).  ``grid2by3`` / ``grid2by4`` are the Table-2
+  instances.
+* ``ibm_qx2()`` — IBM QX2 "bowtie" (Table 1).
+* ``ibm_tokyo()`` — IBM Q20 Tokyo (Table 3).
+* ``rigetti_aspen4()`` — the 16-qubit two-octagon Aspen-4 (Table 2).
+* ``ibm_melbourne()`` — the 2×7-grid-like Melbourne device (Fig. 3).
+* ``fully_connected(n)`` — the ideal architecture (for ideal cycle counts).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .coupling import CouplingGraph
+
+
+def lnn(num_qubits: int) -> CouplingGraph:
+    """Linear nearest-neighbor chain of ``num_qubits`` physical qubits."""
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return CouplingGraph(num_qubits, edges, name=f"lnn-{num_qubits}")
+
+
+def grid(rows: int, cols: int) -> CouplingGraph:
+    """A ``rows × cols`` lattice.
+
+    Physical index of the qubit at row ``i``, column ``j`` is
+    ``rows * j + i`` (column-major), matching the paper's initial placement
+    ``q_{2j+i} → Q_{i,j}`` for the 2×N QFT analysis.
+    """
+    edges = []
+    for j in range(cols):
+        for i in range(rows):
+            p = rows * j + i
+            if i + 1 < rows:
+                edges.append((p, p + 1))
+            if j + 1 < cols:
+                edges.append((p, p + rows))
+    return CouplingGraph(rows * cols, edges, name=f"grid-{rows}x{cols}")
+
+
+def grid_index(rows: int, i: int, j: int) -> int:
+    """Physical index of grid position (row ``i``, column ``j``)."""
+    return rows * j + i
+
+
+def grid2by3() -> CouplingGraph:
+    """The Table-2 ``grid2by3`` architecture."""
+    g = grid(2, 3)
+    g.name = "grid2by3"
+    return g
+
+
+def grid2by4() -> CouplingGraph:
+    """The Table-2 ``grid2by4`` architecture."""
+    g = grid(2, 4)
+    g.name = "grid2by4"
+    return g
+
+
+def fully_connected(num_qubits: int) -> CouplingGraph:
+    """The ideal all-to-all architecture (defines the *ideal cycle*)."""
+    edges = [
+        (p, q) for p in range(num_qubits) for q in range(p + 1, num_qubits)
+    ]
+    return CouplingGraph(num_qubits, edges, name=f"full-{num_qubits}")
+
+
+def ibm_qx2() -> CouplingGraph:
+    """IBM QX2 (Yorktown): 5 qubits in a bowtie, used in Table 1."""
+    edges = [(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]
+    return CouplingGraph(5, edges, name="ibmqx2")
+
+
+def ibm_tokyo() -> CouplingGraph:
+    """IBM Q20 Tokyo: 4×5 lattice with alternating diagonals (Table 3)."""
+    edges = []
+    for row in range(4):
+        for col in range(5):
+            p = 5 * row + col
+            if col + 1 < 5:
+                edges.append((p, p + 1))
+            if row + 1 < 4:
+                edges.append((p, p + 5))
+    edges += [
+        (1, 7), (2, 6), (3, 9), (4, 8),
+        (5, 11), (6, 10), (7, 13), (8, 12),
+        (11, 17), (12, 16), (13, 19), (14, 18),
+    ]
+    return CouplingGraph(20, edges, name="ibm-q20-tokyo")
+
+
+def ibm_melbourne(columns: int = 7) -> CouplingGraph:
+    """Melbourne-style 2×N ladder (the paper's Fig. 3 example)."""
+    g = grid(2, columns)
+    g.name = f"melbourne-2x{columns}"
+    return g
+
+
+def rigetti_aspen4() -> CouplingGraph:
+    """Rigetti Aspen-4: two octagon rings joined by two links (Table 2)."""
+    edges = []
+    for base in (0, 8):
+        edges += [(base + k, base + (k + 1) % 8) for k in range(8)]
+    edges += [(1, 14), (2, 13)]
+    return CouplingGraph(16, edges, name="aspen-4")
+
+
+_BY_NAME = {
+    "ibmqx2": ibm_qx2,
+    "grid2by3": grid2by3,
+    "grid2by4": grid2by4,
+    "aspen-4": rigetti_aspen4,
+    "ibm-q20-tokyo": ibm_tokyo,
+    "tokyo": ibm_tokyo,
+    "melbourne": ibm_melbourne,
+}
+
+
+def by_name(name: str) -> CouplingGraph:
+    """Look up an architecture by the name used in the paper's tables.
+
+    Also accepts ``lnn-N``, ``gridRxC`` and ``full-N`` parametric names.
+    """
+    key = name.lower()
+    if key in _BY_NAME:
+        return _BY_NAME[key]()
+    if key.startswith("lnn-"):
+        return lnn(int(key.split("-", 1)[1]))
+    if key.startswith("full-"):
+        return fully_connected(int(key.split("-", 1)[1]))
+    if key.startswith("grid") and "x" in key:
+        dims = key[4:].lstrip("-")
+        rows, cols = dims.split("x")
+        return grid(int(rows), int(cols))
+    raise KeyError(f"unknown architecture {name!r}")
+
+
+def architecture_names() -> Tuple[str, ...]:
+    """Names accepted by :func:`by_name` (fixed architectures only)."""
+    return tuple(sorted(_BY_NAME))

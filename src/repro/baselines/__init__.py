@@ -1,0 +1,13 @@
+"""Baseline mappers the paper compares against (Tables 2 and 3)."""
+
+from .olsq_style import OlsqStyleMapper
+from .sabre import SabreMapper
+from .trivial import TrivialMapper
+from .zulehner import ZulehnerMapper
+
+__all__ = [
+    "SabreMapper",
+    "ZulehnerMapper",
+    "OlsqStyleMapper",
+    "TrivialMapper",
+]

@@ -1,0 +1,82 @@
+"""Naive shortest-path router — a floor baseline and test oracle.
+
+Processes gates in program order; whenever a two-qubit gate's operands are
+not adjacent, SWAPs one operand along a shortest path until they are.  No
+look-ahead, no parallelism awareness.  Every real mapper should beat it,
+which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import Circuit
+from ..circuit.latency import LatencyModel, uniform_latency
+from ..core.result import MappingResult
+from ..verify.scheduler import result_from_routed_ops
+
+
+class TrivialMapper:
+    """Shortest-path SWAP insertion with no optimization.
+
+    Args:
+        coupling: Target architecture.
+        latency: Latency model for the cycle conversion.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.coupling = coupling
+        self.latency = latency if latency is not None else uniform_latency()
+
+    def map(
+        self,
+        circuit: Circuit,
+        initial_mapping: Optional[Sequence[int]] = None,
+    ) -> MappingResult:
+        """Route ``circuit`` gate by gate.
+
+        Args:
+            circuit: Logical circuit.
+            initial_mapping: Starting mapping (identity when omitted).
+        """
+        if initial_mapping is None:
+            initial_mapping = list(range(circuit.num_qubits))
+        pos = list(initial_mapping)
+        inv: List[int] = [-1] * self.coupling.num_qubits
+        for logical, physical in enumerate(pos):
+            inv[physical] = logical
+        dist = self.coupling.distance_matrix
+        routed: List = []
+        swaps = 0
+
+        for index, gate in enumerate(circuit):
+            if gate.is_two_qubit:
+                a, b = gate.qubits
+                while dist[pos[a]][pos[b]] > 1:
+                    p = pos[a]
+                    step = min(
+                        self.coupling.neighbors(p),
+                        key=lambda r: dist[r][pos[b]],
+                    )
+                    routed.append(("s", min(p, step), max(p, step)))
+                    swaps += 1
+                    other = inv[step]
+                    inv[p], inv[step] = other, a
+                    pos[a] = step
+                    if other >= 0:
+                        pos[other] = p
+            routed.append(("g", index, tuple(pos[q] for q in gate.qubits)))
+
+        return result_from_routed_ops(
+            circuit,
+            self.coupling,
+            self.latency,
+            initial_mapping,
+            routed,
+            stats={"mapper": "trivial", "swaps": swaps},
+        )

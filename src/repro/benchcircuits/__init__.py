@@ -1,0 +1,34 @@
+"""Benchmark circuit suites for Tables 1-3 (see DESIGN.md section 5)."""
+
+from .large import TABLE3, LargeRow, large_circuit, qft10_decomposed, table3_row
+from .olsq_suite import (
+    TABLE2,
+    OlsqRow,
+    olsq_architecture,
+    olsq_circuit,
+    table2_rows,
+)
+from .registry import benchmark_circuit, benchmark_names
+from .synthesis import calibrated_circuit, serial_random_circuit
+from .wille import TABLE1, WilleRow, table1_row, wille_circuit
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "WilleRow",
+    "OlsqRow",
+    "LargeRow",
+    "wille_circuit",
+    "olsq_circuit",
+    "olsq_architecture",
+    "large_circuit",
+    "qft10_decomposed",
+    "table1_row",
+    "table2_rows",
+    "table3_row",
+    "benchmark_circuit",
+    "benchmark_names",
+    "calibrated_circuit",
+    "serial_random_circuit",
+]

@@ -1,0 +1,133 @@
+"""Table 2: the OLSQ comparison suite.
+
+Published rows (name, architecture, ideal cycle, OLSQ cycle/overhead, TOQM
+cycle/overhead) transcribed from the paper's Table 2.  Latencies: every
+gate 1 cycle, SWAP 3 cycles.
+
+Circuits: the ``queko_*`` rows are regenerated with our QUEKO-style
+generator on Aspen-4 (known-optimal-depth semantics preserved exactly —
+``queko_DD_S`` means depth DD, seed S); the remaining rows are calibrated
+synthetic stand-ins matching the published qubit counts and ideal cycles
+(the OLSQ artifact's exact gate lists are unavailable offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..arch.library import by_name, rigetti_aspen4
+from ..circuit.circuit import Circuit
+from ..circuit.generators import queko_circuit
+from ..circuit.latency import OLSQ_LATENCY
+from .synthesis import calibrated_circuit
+
+
+@dataclass(frozen=True)
+class OlsqRow:
+    """One row of the paper's Table 2."""
+
+    name: str
+    arch: str
+    num_qubits: int
+    ideal_cycle: int
+    olsq_cycle: int
+    olsq_overhead_s: float
+    toqm_cycle: int
+    toqm_overhead_s: float
+
+
+#: The paper's Table 2, transcribed verbatim (qubit counts from the
+#: benchmark definitions: 4gt13_92/4mod5/mod5mils are 5-qubit RevLib
+#: circuits, adder is the 4-qubit OLSQ adder, or is 3 qubits, qaoa5 is 5).
+TABLE2: List[OlsqRow] = [
+    OlsqRow("4gt13_92", "ibmqx2", 5, 38, 38, 145.74, 38, 0.01),
+    OlsqRow("4mod5-v1_22", "grid2by3", 5, 12, 20, 90.20, 20, 0.64),
+    OlsqRow("4mod5-v1_22", "grid2by4", 5, 12, 20, 151.28, 20, 17.35),
+    OlsqRow("4mod5-v1_22", "ibmqx2", 5, 12, 15, 21.60, 15, 0.03),
+    OlsqRow("adder", "grid2by3", 4, 11, 11, 10.95, 11, 0.03),
+    OlsqRow("adder", "grid2by4", 4, 11, 11, 13.45, 11, 0.01),
+    OlsqRow("adder", "ibmqx2", 4, 11, 15, 39.71, 15, 0.06),
+    OlsqRow("mod5mils_65", "ibmqx2", 5, 21, 24, 87.76, 24, 0.05),
+    OlsqRow("or", "ibmqx2", 3, 8, 8, 3.55, 8, 0.01),
+    OlsqRow("qaoa5", "ibmqx2", 5, 14, 14, 10.41, 14, 0.01),
+    OlsqRow("queko_05_0", "aspen-4", 16, 5, 5, 68.89, 5, 0.01),
+    OlsqRow("queko_10_3", "aspen-4", 16, 10, 10, 592.91, 10, 1.02),
+    OlsqRow("queko_15_1", "aspen-4", 16, 15, 15, 4912.35, 15, 26.70),
+]
+
+
+def table2_rows(name: str) -> List[OlsqRow]:
+    """All Table 2 rows for a benchmark name (one per architecture)."""
+    rows = [row for row in TABLE2 if row.name == name]
+    if not rows:
+        raise KeyError(f"unknown Table 2 benchmark {name!r}")
+    return rows
+
+
+#: Rows whose published optimal depth equals the ideal depth are circuits
+#: that *embed* into (a subgraph of) the target architecture and run
+#: swap-free.  To preserve that property the stand-in is generated
+#: QUEKO-style on the named host graph at the published depth.
+_EMBEDDABLE_HOSTS = {
+    "4gt13_92": "lnn-5",   # 38 == 38 on ibmqx2 (lnn-5 embeds into qx2)
+    "adder": "grid2x2",    # 11 == 11 on grid2by3/grid2by4 (C4 ⊄ qx2 ⇒ 15)
+    "or": "lnn-3",         # 8 == 8 on ibmqx2
+    "qaoa5": "lnn-5",      # 14 == 14 on ibmqx2
+}
+
+#: Per-benchmark seeds for the embeddable stand-ins.
+_EMBED_SEEDS = {"4gt13_92": 2, "adder": 1, "or": 0, "qaoa5": 4}
+
+
+def olsq_circuit(name: str) -> Circuit:
+    """Regenerate the named Table 2 benchmark circuit."""
+    if name.startswith("queko_"):
+        _, depth_text, seed_text = name.split("_")
+        circuit = queko_circuit(
+            rigetti_aspen4(),
+            depth=int(depth_text),
+            seed=int(seed_text),
+            two_qubit_density=0.25,
+            one_qubit_density=0.15,
+        )
+        circuit.name = name
+        return circuit
+    if name in _EMBEDDABLE_HOSTS:
+        row = table2_rows(name)[0]
+        host = by_name(_EMBEDDABLE_HOSTS[name])
+        circuit = queko_circuit(
+            host,
+            depth=row.ideal_cycle,
+            seed=_EMBED_SEEDS.get(name, 0),
+            two_qubit_density=0.5,
+            one_qubit_density=0.3,
+        )
+        circuit.name = name
+        return circuit
+    row = table2_rows(name)[0]
+    best = None
+    for density in (0.55, 0.45, 0.35, 0.3, 0.25):
+        gate_count = max(6, int(row.ideal_cycle * row.num_qubits * density))
+        candidate = calibrated_circuit(
+            name,
+            row.num_qubits,
+            gate_count,
+            row.ideal_cycle,
+            latency=OLSQ_LATENCY,
+            cx_fraction=0.55,
+        )
+        gap = abs(candidate.depth(OLSQ_LATENCY) - row.ideal_cycle)
+        if best is None or gap < best[0]:
+            best = (gap, candidate)
+        if gap == 0:
+            break
+    return best[1]
+
+
+def olsq_architecture(row: OlsqRow):
+    """The coupling graph a Table 2 row runs on."""
+    return by_name(row.arch)
+
+
+OLSQ_BENCHMARK_NAMES: Dict[str, None] = dict.fromkeys(r.name for r in TABLE2)

@@ -1,0 +1,38 @@
+"""Unified lookup of every benchmark circuit used in the evaluation."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit.circuit import Circuit
+from .large import TABLE3, large_circuit
+from .olsq_suite import TABLE2, olsq_circuit
+from .wille import TABLE1, wille_circuit
+
+
+def benchmark_names() -> List[str]:
+    """All benchmark names across Tables 1–3 (deduplicated, sorted)."""
+    names = {row.name for row in TABLE1}
+    names.update(row.name for row in TABLE2)
+    names.update(row.name for row in TABLE3)
+    return sorted(names)
+
+
+def benchmark_circuit(name: str, scale_gate_cap: Optional[int] = 3000) -> Circuit:
+    """Regenerate any named benchmark from Tables 1–3.
+
+    Table 1 takes precedence on name collisions (e.g. ``4gt13_92`` and
+    ``mod5mils_65`` appear in both Tables 1 and 2 — same circuit either
+    way).
+
+    Args:
+        name: Benchmark name as printed in the paper.
+        scale_gate_cap: Table 3 scaling cap (see ``large_circuit``).
+    """
+    if any(row.name == name for row in TABLE1):
+        return wille_circuit(name)
+    if any(row.name == name for row in TABLE2):
+        return olsq_circuit(name)
+    if any(row.name == name for row in TABLE3):
+        return large_circuit(name, scale_gate_cap=scale_gate_cap)
+    raise KeyError(f"unknown benchmark {name!r}")

@@ -1,0 +1,45 @@
+"""Circuit intermediate representation: gates, circuits, DAGs, latencies."""
+
+from .circuit import Circuit
+from .dag import DependencyGraph
+from .decompose import (
+    decompose_cu1,
+    decompose_cz,
+    decompose_swaps,
+    decompose_to_basis,
+)
+from .gate import Gate, single, swap, two
+from .latency import (
+    IBM_LATENCY,
+    OLSQ_LATENCY,
+    QFT_LATENCY,
+    TABLE1_LATENCY,
+    TABLE3_LATENCY,
+    LatencyModel,
+    uniform_latency,
+)
+from .qasm import QasmError, load_qasm_file, parse_qasm, to_qasm
+
+__all__ = [
+    "decompose_swaps",
+    "decompose_cu1",
+    "decompose_cz",
+    "decompose_to_basis",
+    "Circuit",
+    "DependencyGraph",
+    "Gate",
+    "single",
+    "two",
+    "swap",
+    "LatencyModel",
+    "uniform_latency",
+    "QFT_LATENCY",
+    "OLSQ_LATENCY",
+    "IBM_LATENCY",
+    "TABLE1_LATENCY",
+    "TABLE3_LATENCY",
+    "QasmError",
+    "parse_qasm",
+    "to_qasm",
+    "load_qasm_file",
+]

@@ -1,0 +1,225 @@
+"""The logical circuit container.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuit.gate.Gate`
+objects over ``num_qubits`` logical qubits.  List order is program order; the
+dependency structure the mapper actually schedules against is the per-qubit
+chain DAG built by :mod:`repro.circuit.dag`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .gate import Gate, SWAP_NAME
+from .latency import LatencyModel, uniform_latency
+
+
+class Circuit:
+    """An ordered sequence of gates over a fixed set of logical qubits.
+
+    Args:
+        num_qubits: Number of logical qubits (indices ``0..num_qubits-1``).
+        gates: Optional initial gate sequence.
+        name: Optional human-readable label (used in benchmark reports).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        gates: Optional[Iterable[Gate]] = None,
+        name: str = "",
+    ) -> None:
+        if num_qubits < 1:
+            raise ValueError("a circuit needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._gates: List[Gate] = []
+        if gates is not None:
+            for gate in gates:
+                self.append(gate)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "Circuit":
+        """Append ``gate``, validating its qubit indices.  Returns self."""
+        for q in gate.qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate} uses qubit {q} outside 0..{self.num_qubits - 1}"
+                )
+        self._gates.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Sequence[float] = ()) -> "Circuit":
+        """Append a gate by name and qubits.  Returns self for chaining."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    def h(self, q: int) -> "Circuit":
+        """Append a Hadamard gate."""
+        return self.add("h", q)
+
+    def x(self, q: int) -> "Circuit":
+        """Append a Pauli-X gate."""
+        return self.add("x", q)
+
+    def t(self, q: int) -> "Circuit":
+        """Append a T gate."""
+        return self.add("t", q)
+
+    def rz(self, q: int, angle: float) -> "Circuit":
+        """Append an RZ rotation."""
+        return self.add("rz", q, params=(angle,))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        """Append a CNOT gate."""
+        return self.add("cx", control, target)
+
+    def cz(self, q0: int, q1: int) -> "Circuit":
+        """Append a controlled-Z gate."""
+        return self.add("cz", q0, q1)
+
+    def gt(self, q0: int, q1: int) -> "Circuit":
+        """Append the paper's generic two-qubit gate (Section 3)."""
+        return self.add("gt", q0, q1)
+
+    def swap(self, q0: int, q1: int) -> "Circuit":
+        """Append an explicit SWAP gate."""
+        return self.add(SWAP_NAME, q0, q1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """The gate sequence as an immutable tuple."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Circuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits and self._gates == other._gates
+        )
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names, like Qiskit's ``count_ops``."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of two-qubit gates (the ones coupling constrains)."""
+        return sum(1 for g in self._gates if g.is_two_qubit)
+
+    def two_qubit_gates(self) -> List[Gate]:
+        """All two-qubit gates in program order."""
+        return [g for g in self._gates if g.is_two_qubit]
+
+    def used_qubits(self) -> List[int]:
+        """Sorted list of qubits touched by at least one gate."""
+        seen = set()
+        for gate in self._gates:
+            seen.update(gate.qubits)
+        return sorted(seen)
+
+    def interaction_graph(self) -> List[Tuple[int, int]]:
+        """Distinct unordered qubit pairs joined by a two-qubit gate."""
+        edges = set()
+        for gate in self._gates:
+            if gate.is_two_qubit:
+                a, b = gate.qubits
+                edges.add((min(a, b), max(a, b)))
+        return sorted(edges)
+
+    # ------------------------------------------------------------------
+    # Depth
+    # ------------------------------------------------------------------
+    def depth(self, latency: Optional[LatencyModel] = None) -> int:
+        """Circuit depth in cycles on an ideal all-to-all architecture.
+
+        This is the paper's *ideal cycle* column: the length of the weighted
+        critical path through the per-qubit dependency chains, i.e. the time
+        an ASAP schedule takes when every pair of qubits is connected.
+
+        Args:
+            latency: Latency model; defaults to 1 cycle per gate.
+        """
+        if latency is None:
+            latency = uniform_latency()
+        ready = [0] * self.num_qubits
+        for gate in self._gates:
+            start = max(ready[q] for q in gate.qubits)
+            finish = start + latency.gate_latency(gate)
+            for q in gate.qubits:
+                ready[q] = finish
+        return max(ready, default=0)
+
+    def parallel_layers(self) -> List[List[int]]:
+        """Greedy ASAP partition of gate indices into unit-depth layers.
+
+        Layer ``k`` holds the gates whose unit-latency ASAP start time is
+        ``k``.  Used by the Zulehner baseline and by tests of the layered
+        QFT representation (Fig. 10).
+        """
+        ready = [0] * self.num_qubits
+        layers: List[List[int]] = []
+        for index, gate in enumerate(self._gates):
+            start = max(ready[q] for q in gate.qubits)
+            for q in gate.qubits:
+                ready[q] = start + 1
+            while len(layers) <= start:
+                layers.append([])
+            layers[start].append(index)
+        return layers
+
+    # ------------------------------------------------------------------
+    # Transformation helpers
+    # ------------------------------------------------------------------
+    def without_single_qubit_gates(self) -> "Circuit":
+        """Copy with single-qubit gates dropped (two-qubit skeleton)."""
+        return Circuit(
+            self.num_qubits,
+            (g for g in self._gates if g.is_two_qubit),
+            name=self.name,
+        )
+
+    def reversed(self) -> "Circuit":
+        """Copy with the gate order reversed (used by SABRE's refinement)."""
+        return Circuit(self.num_qubits, reversed(self._gates), name=self.name)
+
+    def relabeled(self, permutation: Sequence[int]) -> "Circuit":
+        """Copy with qubit ``q`` renamed to ``permutation[q]``.
+
+        Args:
+            permutation: A permutation of ``0..num_qubits-1``.
+        """
+        if sorted(permutation) != list(range(self.num_qubits)):
+            raise ValueError("relabeling must be a permutation of all qubits")
+        return Circuit(
+            self.num_qubits,
+            (g.on(*(permutation[q] for q in g.qubits)) for g in self._gates),
+            name=self.name,
+        )
+
+    def copy(self) -> "Circuit":
+        """Shallow copy (gates are immutable, so this is a full copy)."""
+        return Circuit(self.num_qubits, self._gates, name=self.name)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Circuit{label}: {self.num_qubits} qubits, "
+            f"{len(self._gates)} gates>"
+        )

@@ -1,0 +1,92 @@
+"""Per-qubit dependency chains — the circuit's scheduling DAG.
+
+Because every gate touches at most two qubits and gates on the same qubit
+must execute in program order, the dependency graph of a circuit (Fig. 7 of
+the paper) is fully described by, for each gate, its *predecessor on each
+operand qubit*.  This module precomputes those chains once per circuit; the
+search core and the heuristic both consume them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .circuit import Circuit
+
+
+class DependencyGraph:
+    """Predecessor/successor structure of a circuit.
+
+    Attributes:
+        circuit: The underlying circuit.
+        qubit_gates: For each logical qubit, the gate indices touching it,
+            in program order.
+        position: ``position[gate][qubit]`` is the index of ``gate`` within
+            ``qubit_gates[qubit]``.
+        preds: For each gate, the tuple of distinct immediate predecessor
+            gate indices (one per operand qubit, deduplicated).
+        succs: For each gate, the tuple of distinct immediate successors.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        n = circuit.num_qubits
+        self.qubit_gates: List[List[int]] = [[] for _ in range(n)]
+        self.position: List[Dict[int, int]] = []
+        preds: List[Tuple[int, ...]] = []
+        succ_sets: List[List[int]] = [[] for _ in range(len(circuit))]
+        last_on_qubit: List[Optional[int]] = [None] * n
+
+        for index, gate in enumerate(circuit):
+            pos: Dict[int, int] = {}
+            gate_preds = []
+            for q in gate.qubits:
+                pos[q] = len(self.qubit_gates[q])
+                self.qubit_gates[q].append(index)
+                prev = last_on_qubit[q]
+                if prev is not None:
+                    gate_preds.append(prev)
+                    succ_sets[prev].append(index)
+                last_on_qubit[q] = index
+            self.position.append(pos)
+            # Deduplicate (a 2q gate can share both qubits with its pred).
+            preds.append(tuple(dict.fromkeys(gate_preds)))
+
+        self.preds: Tuple[Tuple[int, ...], ...] = tuple(preds)
+        self.succs: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(dict.fromkeys(s)) for s in succ_sets
+        )
+
+    def pred_on_qubit(self, gate_index: int, qubit: int) -> Optional[int]:
+        """The previous gate on ``qubit`` before ``gate_index``, if any."""
+        pos = self.position[gate_index].get(qubit)
+        if pos is None:
+            raise ValueError(f"gate {gate_index} does not act on qubit {qubit}")
+        if pos == 0:
+            return None
+        return self.qubit_gates[qubit][pos - 1]
+
+    def roots(self) -> List[int]:
+        """Gates with no predecessors (the initial frontier)."""
+        return [i for i, p in enumerate(self.preds) if not p]
+
+    def critical_path_length(self, latencies: List[int]) -> int:
+        """Weighted longest path through the DAG.
+
+        Equals :meth:`Circuit.depth` under the same latencies; also the
+        depth lower bound OLSQ starts its iterative deepening from.
+
+        Args:
+            latencies: Per-gate latency, indexed by gate index.
+        """
+        finish = [0] * len(self.preds)
+        best = 0
+        for index in range(len(self.preds)):
+            start = max((finish[p] for p in self.preds[index]), default=0)
+            finish[index] = start + latencies[index]
+            best = max(best, finish[index])
+        return best
+
+    def topological_order(self) -> List[int]:
+        """Gate indices in a valid topological order (= program order)."""
+        return list(range(len(self.preds)))

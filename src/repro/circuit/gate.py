@@ -1,0 +1,100 @@
+"""Gate primitives for the logical-circuit intermediate representation.
+
+The paper (Section 2.1) distinguishes only two classes of elementary gates:
+single-qubit gates and two-qubit gates.  Everything the mapper needs to know
+about a gate is its name (used for latency lookup and QASM round-tripping),
+the logical qubits it touches, and optional real-valued parameters.
+
+Gates are immutable.  Within a :class:`~repro.circuit.circuit.Circuit` a gate
+is identified by its index, so two textually identical gates at different
+positions are distinct scheduling objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Canonical name used for inserted SWAP gates throughout the library.
+SWAP_NAME = "swap"
+
+#: Names the QASM writer treats as having a standard-library definition.
+STANDARD_GATE_NAMES = frozenset(
+    {
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+        "rx", "ry", "rz", "u1", "u2", "u3",
+        "cx", "cz", "cy", "ch", "cu1", "cu3", "crz",
+        "swap", "gt",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One quantum gate applied to an ordered tuple of logical qubits.
+
+    Attributes:
+        name: Lower-case gate mnemonic, e.g. ``"h"``, ``"cx"``, ``"swap"``,
+            or the paper's generic two-qubit gate ``"gt"``.
+        qubits: The logical qubit indices the gate acts on, in operand order
+            (control before target for controlled gates).
+        params: Optional rotation angles or phases, kept only so circuits
+            survive a QASM round trip; the mapper itself never reads them.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.qubits:
+            raise ValueError("a gate must act on at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name} repeats a qubit: {self.qubits}")
+        if len(self.qubits) > 2:
+            raise ValueError(
+                f"gate {self.name} acts on {len(self.qubits)} qubits; the "
+                "mapping model only supports 1- and 2-qubit gates "
+                "(decompose wider gates first)"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of distinct qubits the gate acts on (1 or 2)."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit gates, which are subject to coupling checks."""
+        return len(self.qubits) == 2
+
+    @property
+    def is_swap(self) -> bool:
+        """True if this gate is a SWAP (by canonical name)."""
+        return self.name == SWAP_NAME
+
+    def on(self, *qubits: int) -> "Gate":
+        """Return a copy of this gate applied to different qubits."""
+        return Gate(self.name, tuple(qubits), self.params)
+
+    def __str__(self) -> str:
+        args = ", ".join(f"q{q}" for q in self.qubits)
+        if self.params:
+            ps = ", ".join(f"{p:g}" for p in self.params)
+            return f"{self.name}({ps}) {args}"
+        return f"{self.name} {args}"
+
+
+def single(name: str, qubit: int, *params: float) -> Gate:
+    """Convenience constructor for a single-qubit gate."""
+    return Gate(name, (qubit,), tuple(params))
+
+
+def two(name: str, q0: int, q1: int, *params: float) -> Gate:
+    """Convenience constructor for a two-qubit gate."""
+    return Gate(name, (q0, q1), tuple(params))
+
+
+def swap(q0: int, q1: int) -> Gate:
+    """Convenience constructor for a SWAP gate."""
+    return Gate(SWAP_NAME, (q0, q1))

@@ -1,0 +1,209 @@
+"""Workload generators used throughout the evaluation.
+
+* :func:`qft_skeleton` — the paper's QFT convention (Section 3): ``n``
+  qubits, ``n(n-1)/2`` generic two-qubit ``gt`` gates, single-qubit gates
+  absorbed.  ``layered=True`` emits the parallel-layer ordering of Fig. 10
+  (2n−3 layers); otherwise the sequential ordering of Fig. 2(b).
+* :func:`qft_full` — a concrete QFT with Hadamards and controlled-phase
+  gates, for QASM round-trip and ideal-depth tests.
+* :func:`queko_circuit` — QUEKO-style benchmarks with *known optimal depth*
+  (Tan & Cong), used by Table 2: a circuit scheduled directly on the target
+  architecture at a chosen depth, then scrambled by a hidden permutation.
+* :func:`random_circuit` — seeded random circuits with a tunable two-qubit
+  fraction and interaction locality; the substrate for the synthetic
+  stand-ins of the RevLib/Qiskit/ScaffCC suites (see DESIGN.md §5).
+* :func:`ghz_circuit`, :func:`linear_entangler` — small structured examples.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..arch.coupling import CouplingGraph
+from .circuit import Circuit
+
+
+def qft_skeleton(num_qubits: int, layered: bool = True) -> Circuit:
+    """QFT skeleton circuit of generic two-qubit gates (paper Section 3).
+
+    Args:
+        num_qubits: Number of logical qubits ``n``; emits ``n(n-1)/2`` GT
+            gates, one per unordered qubit pair.
+        layered: If True, order gates by the affine loop of Fig. 10(b)
+            (parallel layers ``k = 1 .. 2n-3``); if False, use the
+            triangular ordering of Fig. 2(b).  Both have the same gate set;
+            the layered form exposes the parallelism the optimal schedules
+            exploit.
+    """
+    if num_qubits < 2:
+        raise ValueError("QFT needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"qft_{num_qubits}")
+    n = num_qubits
+    if layered:
+        for k in range(1, 2 * n - 2):
+            for i in range(0, (k + 1) // 2):
+                if 0 <= i < n and i < k - i < n:
+                    circuit.gt(i, k - i)
+    else:
+        for i in range(n):
+            for j in range(i + 1, n):
+                circuit.gt(i, j)
+    return circuit
+
+
+def qft_full(num_qubits: int) -> Circuit:
+    """Textbook QFT with Hadamards and controlled-phase (cu1) gates."""
+    circuit = Circuit(num_qubits, name=f"qft_full_{num_qubits}")
+    for i in range(num_qubits):
+        circuit.h(i)
+        for j in range(i + 1, num_qubits):
+            circuit.add("cu1", j, i, params=(math.pi / (2 ** (j - i)),))
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """GHZ-state preparation: one Hadamard and a CNOT chain."""
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def linear_entangler(num_qubits: int, rounds: int = 1) -> Circuit:
+    """Alternating even/odd nearest-neighbor CNOT brick pattern."""
+    circuit = Circuit(num_qubits, name=f"entangler_{num_qubits}x{rounds}")
+    for layer in range(2 * rounds):
+        start = layer % 2
+        for q in range(start, num_qubits - 1, 2):
+            circuit.cx(q, q + 1)
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    two_qubit_fraction: float = 0.6,
+    seed: int = 0,
+    locality: float = 0.0,
+) -> Circuit:
+    """A seeded random circuit.
+
+    Args:
+        num_qubits: Number of logical qubits.
+        num_gates: Total gate count.
+        two_qubit_fraction: Probability each gate is a CNOT.
+        seed: RNG seed (results are deterministic per seed).
+        locality: In ``[0, 1)``; probability that a CNOT reuses a qubit
+            pair that has interacted before, mimicking the clustered
+            interaction patterns of reversible-logic benchmarks.
+    """
+    if num_qubits < 2 and two_qubit_fraction > 0:
+        raise ValueError("two-qubit gates need at least two qubits")
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"random_{num_qubits}_{num_gates}_s{seed}")
+    previous_pairs: List[Tuple[int, int]] = []
+    one_qubit_names = ("h", "t", "x", "rz")
+    for _ in range(num_gates):
+        if rng.random() < two_qubit_fraction:
+            if previous_pairs and rng.random() < locality:
+                control, target = rng.choice(previous_pairs)
+                if rng.random() < 0.5:
+                    control, target = target, control
+            else:
+                control, target = rng.sample(range(num_qubits), 2)
+                previous_pairs.append((control, target))
+            circuit.cx(control, target)
+        else:
+            name = rng.choice(one_qubit_names)
+            q = rng.randrange(num_qubits)
+            if name == "rz":
+                circuit.rz(q, rng.uniform(0, 2 * math.pi))
+            else:
+                circuit.add(name, q)
+    return circuit
+
+
+def queko_circuit(
+    coupling: CouplingGraph,
+    depth: int,
+    seed: int = 0,
+    two_qubit_density: float = 0.3,
+    one_qubit_density: float = 0.1,
+    scramble: bool = True,
+) -> Circuit:
+    """A QUEKO-style benchmark with known optimal depth.
+
+    Construction (after Tan & Cong): first lay a *backbone* — a chain of
+    gates, one per cycle, each sharing a qubit with its predecessor — which
+    forces the unit-latency depth to be at least ``depth``; then fill each
+    cycle with additional disjoint coupling-edge CNOTs and idle-qubit
+    single-qubit gates up to the requested densities.  Every two-qubit gate
+    lies on a coupling edge, so under the hidden identity mapping the
+    circuit runs in exactly ``depth`` cycles with zero SWAPs.  Finally the
+    qubit labels are scrambled by a random permutation, which a mapper must
+    rediscover.
+
+    Args:
+        coupling: Target architecture the circuit is built on.
+        depth: The known optimal depth (unit gate latency).
+        seed: RNG seed.
+        two_qubit_density: Fraction of qubits engaged in CNOTs per cycle.
+        one_qubit_density: Fraction of qubits given 1-qubit gates per cycle.
+        scramble: Apply the hidden relabeling (disable for debugging).
+
+    Returns:
+        The benchmark circuit; ``circuit.depth()`` equals ``depth``.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    rng = random.Random(seed)
+    n = coupling.num_qubits
+    cycles: List[List[Tuple[str, Tuple[int, ...]]]] = [[] for _ in range(depth)]
+    used: List[set] = [set() for _ in range(depth)]
+
+    # Backbone: a dependency chain through all cycles.
+    edge = rng.choice(coupling.edges)
+    cycles[0].append(("cx", edge))
+    used[0].update(edge)
+    previous_edge = edge
+    for t in range(1, depth):
+        pivot = rng.choice(previous_edge)
+        neighbors = [q for q in coupling.neighbors(pivot)]
+        other = rng.choice(neighbors)
+        edge = (pivot, other)
+        cycles[t].append(("cx", edge))
+        used[t].update(edge)
+        previous_edge = edge
+
+    # Fill with disjoint CNOTs and single-qubit gates per density.
+    target_cx_qubits = max(2, int(two_qubit_density * n))
+    for t in range(depth):
+        candidates = list(coupling.edges)
+        rng.shuffle(candidates)
+        for p, q in candidates:
+            if len(used[t]) >= target_cx_qubits:
+                break
+            if p in used[t] or q in used[t]:
+                continue
+            cycles[t].append(("cx", (p, q)))
+            used[t].update((p, q))
+        idle = [q for q in range(n) if q not in used[t]]
+        rng.shuffle(idle)
+        for q in idle[: int(one_qubit_density * n)]:
+            cycles[t].append(("h", (q,)))
+            used[t].add(q)
+
+    circuit = Circuit(n, name=f"queko_{depth:02d}_{seed}")
+    for t in range(depth):
+        for name, qubits in cycles[t]:
+            circuit.add(name, *qubits)
+
+    if scramble:
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        circuit = circuit.relabeled(permutation)
+        circuit.name = f"queko_{depth:02d}_{seed}"
+    return circuit

@@ -1,0 +1,111 @@
+"""Latency models: how many cycles each gate (and a SWAP) takes.
+
+The paper deliberately leaves gate latencies as *parameters* of the model
+(Section 2.2: "we set the latency of a SWAP as a parameter in our model") and
+uses three concrete assignments in the evaluation:
+
+* **QFT analysis (Section 3, 6.1.1)** — every generic two-qubit gate and
+  every SWAP takes one cycle (each "step" in Figs. 11/12/14 is one cycle).
+* **Table 1 (Wille benchmarks on IBM QX2)** — SWAP latency 6, CX latency 2,
+  single-qubit latency 1.
+* **Table 2 (OLSQ comparison)** — every gate 1 cycle, SWAP 3 cycles.
+* **Table 3 (large benchmarks on IBM Q20 Tokyo)** — single-qubit 1 cycle,
+  CX 2 cycles, SWAP 6 cycles (3 CX on bidirectional links).
+
+All latencies are positive integers; a zero-latency gate would break the
+cycle-based search model (each transition must increase cost, Theorem 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .gate import Gate
+
+
+class LatencyModel:
+    """Maps gates to integer cycle counts.
+
+    Lookup precedence for a gate ``g``:
+
+    1. an exact entry for ``g.name`` in ``table``;
+    2. ``swap_cycles`` if the gate is a SWAP;
+    3. ``two_qubit_cycles`` / ``single_qubit_cycles`` by operand count.
+
+    Args:
+        single_qubit_cycles: Default latency of 1-qubit gates.
+        two_qubit_cycles: Default latency of 2-qubit gates.
+        swap_cycles: Latency of a SWAP gate.
+        table: Optional per-name overrides, e.g. ``{"cx": 2}``.
+    """
+
+    def __init__(
+        self,
+        single_qubit_cycles: int = 1,
+        two_qubit_cycles: int = 1,
+        swap_cycles: int = 3,
+        table: Optional[Dict[str, int]] = None,
+    ) -> None:
+        for label, value in (
+            ("single_qubit_cycles", single_qubit_cycles),
+            ("two_qubit_cycles", two_qubit_cycles),
+            ("swap_cycles", swap_cycles),
+        ):
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{label} must be a positive integer, got {value!r}")
+        self.single_qubit_cycles = single_qubit_cycles
+        self.two_qubit_cycles = two_qubit_cycles
+        self.swap_cycles = swap_cycles
+        self.table = dict(table or {})
+        for name, value in self.table.items():
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"latency for {name!r} must be a positive integer")
+
+    def gate_latency(self, gate: Gate) -> int:
+        """Latency in cycles of ``gate`` under this model."""
+        if gate.name in self.table:
+            return self.table[gate.name]
+        if gate.is_swap:
+            return self.swap_cycles
+        if gate.is_two_qubit:
+            return self.two_qubit_cycles
+        return self.single_qubit_cycles
+
+    def swap_latency(self) -> int:
+        """Latency in cycles of an inserted SWAP gate."""
+        return self.table.get("swap", self.swap_cycles)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyModel(1q={self.single_qubit_cycles}, "
+            f"2q={self.two_qubit_cycles}, swap={self.swap_cycles}, "
+            f"table={self.table})"
+        )
+
+
+def uniform_latency(gate_cycles: int = 1, swap_cycles: int = 1) -> LatencyModel:
+    """Every gate takes ``gate_cycles``; a SWAP takes ``swap_cycles``."""
+    return LatencyModel(
+        single_qubit_cycles=gate_cycles,
+        two_qubit_cycles=gate_cycles,
+        swap_cycles=swap_cycles,
+    )
+
+
+#: Latency used for the QFT exact analysis (Section 6.1.1): every step —
+#: whether a generic two-qubit gate or a SWAP — is one cycle.
+QFT_LATENCY = uniform_latency(gate_cycles=1, swap_cycles=1)
+
+#: Latency used in Table 2 (OLSQ comparison): gates 1 cycle, SWAP 3 cycles.
+OLSQ_LATENCY = uniform_latency(gate_cycles=1, swap_cycles=3)
+
+#: Latency used in Tables 1 and 3: single-qubit 1, CX 2, SWAP 6.
+IBM_LATENCY = LatencyModel(
+    single_qubit_cycles=1,
+    two_qubit_cycles=2,
+    swap_cycles=6,
+)
+
+#: Alias making benchmark code self-describing.
+TABLE1_LATENCY = IBM_LATENCY
+TABLE3_LATENCY = IBM_LATENCY

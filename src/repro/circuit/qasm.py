@@ -1,0 +1,131 @@
+"""A small OpenQASM 2.0 reader/writer.
+
+Supports the subset needed for the paper's benchmark suites (RevLib dumps,
+Qiskit exports): a single ``qreg`` (or several, flattened in declaration
+order), standard-library gates with optional parenthesised parameters,
+``barrier`` and ``measure`` statements (ignored for mapping purposes), and
+comments.  Parameters are parsed as Python arithmetic with ``pi`` available.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from .circuit import Circuit
+from .gate import Gate
+
+_QREG_RE = re.compile(r"qreg\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]")
+_CREG_RE = re.compile(r"creg\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]")
+_ARG_RE = re.compile(r"([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]")
+_GATE_RE = re.compile(r"^([A-Za-z_][\w]*)\s*(\(([^)]*)\))?\s*(.*)$")
+
+
+class QasmError(ValueError):
+    """Raised when the input is not parseable OpenQASM 2.0."""
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a parameter expression such as ``pi/4`` or ``-3*pi/8``."""
+    cleaned = text.strip()
+    if not re.fullmatch(r"[\d\.eE\+\-\*/\(\)\s]*(pi[\d\.eE\+\-\*/\(\)\s]*)*", cleaned):
+        raise QasmError(f"unsupported parameter expression: {text!r}")
+    try:
+        return float(eval(cleaned, {"__builtins__": {}}, {"pi": math.pi}))
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate parameter {text!r}") from exc
+
+
+def parse_qasm(text: str, name: str = "") -> Circuit:
+    """Parse OpenQASM 2.0 source into a :class:`Circuit`.
+
+    Multiple ``qreg`` declarations are flattened into one logical qubit
+    space in declaration order.  ``measure``, ``barrier``, ``creg``,
+    ``include`` and ``OPENQASM`` lines are accepted and skipped.
+
+    Args:
+        text: The QASM source.
+        name: Optional circuit name for the result.
+    """
+    # Strip comments, then split on ';'.
+    text = re.sub(r"//[^\n]*", "", text)
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+
+    reg_offset: Dict[str, int] = {}
+    total_qubits = 0
+    gates: List[Gate] = []
+
+    def resolve(arg: str) -> int:
+        match = _ARG_RE.fullmatch(arg.strip())
+        if not match:
+            raise QasmError(f"cannot parse qubit argument {arg!r}")
+        reg, idx = match.group(1), int(match.group(2))
+        if reg not in reg_offset:
+            raise QasmError(f"unknown register {reg!r}")
+        return reg_offset[reg] + idx
+
+    for statement in statements:
+        lowered = statement.lower()
+        if lowered.startswith("openqasm") or lowered.startswith("include"):
+            continue
+        qreg = _QREG_RE.fullmatch(statement)
+        if qreg:
+            reg_offset[qreg.group(1)] = total_qubits
+            total_qubits += int(qreg.group(2))
+            continue
+        if _CREG_RE.fullmatch(statement):
+            continue
+        if lowered.startswith("barrier") or lowered.startswith("measure"):
+            continue
+        match = _GATE_RE.match(statement)
+        if not match:
+            raise QasmError(f"cannot parse statement {statement!r}")
+        gname, _, params_text, args_text = match.groups()
+        params: Tuple[float, ...] = ()
+        if params_text:
+            params = tuple(_eval_param(p) for p in params_text.split(","))
+        qubits = tuple(resolve(a) for a in args_text.split(",") if a.strip())
+        if not qubits:
+            raise QasmError(f"gate statement without qubits: {statement!r}")
+        gates.append(Gate(gname.lower(), qubits, params))
+
+    if total_qubits == 0:
+        raise QasmError("no qreg declaration found")
+    return Circuit(total_qubits, gates, name=name)
+
+
+def to_qasm(circuit: Circuit, register: str = "q") -> str:
+    """Serialize a circuit as OpenQASM 2.0 text.
+
+    The paper's generic two-qubit gate ``gt`` is emitted as a ``cz`` with a
+    preceding comment so the output is loadable by standard tools.
+
+    Args:
+        circuit: Circuit to serialize.
+        register: Quantum register name to use.
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg {register}[{circuit.num_qubits}];",
+    ]
+    for gate in circuit:
+        name = gate.name
+        if name == "gt":
+            lines.append("// generic two-qubit gate (paper's GT), emitted as cz")
+            name = "cz"
+        args = ",".join(f"{register}[{q}]" for q in gate.qubits)
+        if gate.params:
+            params = ",".join(f"{p:.12g}" for p in gate.params)
+            lines.append(f"{name}({params}) {args};")
+        else:
+            lines.append(f"{name} {args};")
+    return "\n".join(lines) + "\n"
+
+
+def load_qasm_file(path: str) -> Circuit:
+    """Read a ``.qasm`` file from disk and parse it."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_qasm(text, name=path)

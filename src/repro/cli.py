@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``map`` — route a circuit (QASM file or built-in benchmark) onto an
+  architecture with a chosen mapper and print the verified schedule;
+* ``benchmarks`` — list the regenerable benchmark names;
+* ``archs`` — list the built-in architectures.
+
+Examples::
+
+    python -m repro map --circuit qft:6 --arch lnn-6 --mapper optimal \
+        --latency qft
+    python -m repro map --circuit examples.qasm --arch tokyo \
+        --mapper heuristic --latency ibm
+    python -m repro map --circuit bench:adder --arch grid2by3 \
+        --mapper optimal --latency olsq --search-initial
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .arch import architecture_names, by_name
+from .baselines import SabreMapper, TrivialMapper, ZulehnerMapper
+from .benchcircuits import benchmark_circuit, benchmark_names
+from .circuit import (
+    Circuit,
+    IBM_LATENCY,
+    OLSQ_LATENCY,
+    QFT_LATENCY,
+    LatencyModel,
+    load_qasm_file,
+    to_qasm,
+    uniform_latency,
+)
+from .circuit.generators import qft_skeleton, random_circuit
+from .core import HeuristicMapper, OptimalMapper
+from .verify import validate_result
+
+_LATENCIES = {
+    "unit": uniform_latency(1, 3),
+    "qft": QFT_LATENCY,
+    "olsq": OLSQ_LATENCY,
+    "ibm": IBM_LATENCY,
+}
+
+
+def _load_circuit(spec: str) -> Circuit:
+    """Resolve a circuit spec: ``qft:N``, ``random:N:G[:SEED]``,
+    ``bench:NAME``, or a ``.qasm`` path."""
+    if spec.startswith("qft:"):
+        return qft_skeleton(int(spec.split(":", 1)[1]))
+    if spec.startswith("random:"):
+        parts = spec.split(":")[1:]
+        n, gates = int(parts[0]), int(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        return random_circuit(n, gates, seed=seed)
+    if spec.startswith("bench:"):
+        return benchmark_circuit(spec.split(":", 1)[1])
+    return load_qasm_file(spec)
+
+
+def _build_mapper(name: str, coupling, latency: LatencyModel, args):
+    if name == "optimal":
+        return OptimalMapper(
+            coupling,
+            latency,
+            search_initial_mapping=args.search_initial,
+            max_seconds=args.budget,
+        )
+    if name == "heuristic":
+        return HeuristicMapper(coupling, latency)
+    if name == "sabre":
+        return SabreMapper(coupling, latency, seed=args.seed)
+    if name == "zulehner":
+        return ZulehnerMapper(coupling, latency)
+    if name == "trivial":
+        return TrivialMapper(coupling, latency)
+    raise KeyError(name)
+
+
+def _cmd_map(args) -> int:
+    circuit = _load_circuit(args.circuit)
+    coupling = by_name(args.arch)
+    latency = _LATENCIES[args.latency]
+    mapper = _build_mapper(args.mapper, coupling, latency, args)
+    result = mapper.map(circuit)
+    validate_result(result)
+    print(result.describe(max_ops=args.max_ops))
+    if args.timeline:
+        from .analysis.render import render_timeline
+
+        print()
+        print(render_timeline(result))
+    if args.qasm_out:
+        with open(args.qasm_out, "w", encoding="utf-8") as handle:
+            handle.write(to_qasm(result.to_physical_circuit()))
+        print(f"\nwrote transformed circuit to {args.qasm_out}")
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    for name in benchmark_names():
+        print(name)
+    return 0
+
+
+def _cmd_archs(_args) -> int:
+    for name in architecture_names():
+        arch = by_name(name)
+        print(f"{name:16s} {arch.num_qubits:>3} qubits, {len(arch.edges):>3} edges")
+    print("parametric     : lnn-N, gridRxC, full-N")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Time-Optimal Qubit Mapping (ASPLOS 2021)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    map_cmd = sub.add_parser("map", help="route a circuit onto hardware")
+    map_cmd.add_argument(
+        "--circuit", required=True,
+        help="qft:N | random:N:G[:SEED] | bench:NAME | path/to/file.qasm",
+    )
+    map_cmd.add_argument("--arch", required=True, help="architecture name")
+    map_cmd.add_argument(
+        "--mapper",
+        default="optimal",
+        choices=["optimal", "heuristic", "sabre", "zulehner", "trivial"],
+    )
+    map_cmd.add_argument(
+        "--latency", default="unit", choices=sorted(_LATENCIES)
+    )
+    map_cmd.add_argument(
+        "--search-initial", action="store_true",
+        help="optimal mode 2: search the initial mapping too",
+    )
+    map_cmd.add_argument("--budget", type=float, default=None,
+                         help="optimal-search wall-clock budget (s)")
+    map_cmd.add_argument("--seed", type=int, default=0)
+    map_cmd.add_argument("--max-ops", type=int, default=60)
+    map_cmd.add_argument("--timeline", action="store_true",
+                         help="print an ASCII qubit/cycle timeline")
+    map_cmd.add_argument("--qasm-out", default=None,
+                         help="write the transformed circuit as QASM")
+    map_cmd.set_defaults(func=_cmd_map)
+
+    bench_cmd = sub.add_parser("benchmarks", help="list benchmark names")
+    bench_cmd.set_defaults(func=_cmd_benchmarks)
+
+    arch_cmd = sub.add_parser("archs", help="list architectures")
+    arch_cmd.set_defaults(func=_cmd_archs)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

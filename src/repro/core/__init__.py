@@ -1,0 +1,18 @@
+"""The TOQM search core: optimal A* mapper and the practical variant."""
+
+from .astar import OptimalMapper, SearchBudgetExceeded
+from .heuristic import heuristic_cost
+from .heuristic_mapper import HeuristicMapper, RoutingFailed
+from .problem import MappingProblem
+from .result import MappingResult, ScheduledOp
+
+__all__ = [
+    "OptimalMapper",
+    "HeuristicMapper",
+    "MappingProblem",
+    "MappingResult",
+    "ScheduledOp",
+    "heuristic_cost",
+    "SearchBudgetExceeded",
+    "RoutingFailed",
+]

@@ -1,0 +1,388 @@
+"""The optimal A* search (paper Sections 4.2, 5, and Fig. 6).
+
+`OptimalMapper` implements the full framework: a priority queue ordered by
+the admissible cost ``f(v) = g(v) + h(v)``; the node expander enforcing
+coupling, dependency and redundancy constraints; the equivalence/dominance
+filter; and the two initial-mapping modes of Section 5.3 —
+
+* **mode 1** — an initial mapping is supplied and only scheduling+SWAP
+  insertion is searched;
+* **mode 2** — the search is prefixed by up to ``d`` *free* layers of pure
+  SWAPs (``d`` = the architecture's longest-simple-path bound) whose cycles
+  are not counted, which amounts to searching over initial mappings; each
+  distinct mapping is explored at most once (hash filter).
+
+The first terminal node popped from the queue is a time-optimal transformed
+circuit (Theorem 5.2).  ``find_all_optimal`` keeps popping to enumerate
+every distinct optimal schedule (Appendix B) — modulo schedules the state
+filter identifies, which reach identical states at identical cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time as _time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph, find_swap_free_mapping
+from ..circuit.circuit import Circuit
+from ..circuit.latency import LatencyModel
+from .expander import OPTIMAL_EXPANSION, expand
+from .filters import StateFilter
+from .heuristic import heuristic_cost
+from .problem import MappingProblem
+from .result import MappingResult, ScheduledOp
+from .state import SearchNode
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The node or time budget ran out before an optimal terminal was found."""
+
+
+class OptimalMapper:
+    """Time-optimal qubit mapper (the paper's exact mode, Section 6.1).
+
+    Args:
+        coupling: Target architecture.
+        latency: Latency model (defaults to 1 cycle/gate, 3-cycle SWAP).
+        search_initial_mapping: Use mode 2 (free SWAP prefix) to also
+            optimize the initial mapping.  Ignored when ``map`` is called
+            with an explicit ``initial_mapping``.
+        try_swap_free_fast_path: In mode 2, first attempt a subgraph-
+            monomorphism embedding of the circuit's interaction graph — the
+            fast path the paper applies before the Table 2 runs.
+        max_nodes: Abort with :class:`SearchBudgetExceeded` after expanding
+            this many nodes (safety valve; optimality needs it unbounded).
+        max_seconds: Optional wall-clock budget.
+        informed: Use the full swap-aware admissible heuristic of Section
+            5.1.  When False the search degrades to an uninformed exact
+            search guided only by the remaining critical path — the
+            configuration the OLSQ-style baseline uses.
+        dominance: Enable the comparative-analysis filter (Fig. 5b); the
+            equivalence check stays on either way.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingGraph,
+        latency: Optional[LatencyModel] = None,
+        search_initial_mapping: bool = False,
+        try_swap_free_fast_path: bool = True,
+        max_nodes: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+        informed: bool = True,
+        dominance: bool = True,
+    ) -> None:
+        self.coupling = coupling
+        self.latency = latency
+        self.search_initial_mapping = search_initial_mapping
+        self.try_swap_free_fast_path = try_swap_free_fast_path
+        self.max_nodes = max_nodes
+        self.max_seconds = max_seconds
+        self.informed = informed
+        self.dominance = dominance
+
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        circuit: Circuit,
+        initial_mapping: Optional[Sequence[int]] = None,
+    ) -> MappingResult:
+        """Find a time-optimal transformed circuit.
+
+        Args:
+            circuit: The logical circuit.
+            initial_mapping: Mode-1 initial mapping (``initial_mapping[l]``
+                is the physical home of logical ``l``).  When ``None`` and
+                ``search_initial_mapping`` is set, mode 2 runs; otherwise
+                the identity mapping is used.
+
+        Returns:
+            A :class:`MappingResult` with ``optimal=True``.
+        """
+        problem = MappingProblem(circuit, self.coupling, self.latency)
+        terminals = self._search(problem, initial_mapping, find_all=False)
+        return terminals[0]
+
+    def find_all_optimal(
+        self,
+        circuit: Circuit,
+        initial_mapping: Optional[Sequence[int]] = None,
+        max_solutions: int = 64,
+    ) -> List[MappingResult]:
+        """Enumerate distinct optimal schedules (Appendix B).
+
+        Args:
+            circuit: The logical circuit.
+            initial_mapping: As in :meth:`map`.
+            max_solutions: Stop after this many optimal terminals.
+        """
+        problem = MappingProblem(circuit, self.coupling, self.latency)
+        return self._search(
+            problem, initial_mapping, find_all=True, max_solutions=max_solutions
+        )
+
+    # ------------------------------------------------------------------
+    def _roots(
+        self,
+        problem: MappingProblem,
+        initial_mapping: Optional[Sequence[int]],
+    ) -> Tuple[List[SearchNode], bool]:
+        """Build root node(s); returns (roots, prefix_mode)."""
+        num_logical = problem.num_logical
+        num_physical = problem.num_physical
+
+        def make_root(mapping: Sequence[int], prefix_layers: int) -> SearchNode:
+            pos = tuple(mapping)
+            inv = [-1] * num_physical
+            for logical, physical in enumerate(pos):
+                inv[physical] = logical
+            return SearchNode(
+                time=0,
+                pos=pos,
+                inv=tuple(inv),
+                ptr=(0,) * num_logical,
+                started=0,
+                inflight=(),
+                last_swaps=frozenset(),
+                prev_startable=frozenset(),
+                parent=None,
+                actions=(),
+                prefix_layers=prefix_layers,
+            )
+
+        if initial_mapping is not None:
+            if sorted(set(initial_mapping)) != sorted(initial_mapping) or len(
+                initial_mapping
+            ) != num_logical:
+                raise ValueError("initial mapping must be injective over logicals")
+            return [make_root(initial_mapping, -1)], False
+
+        if not self.search_initial_mapping:
+            return [make_root(range(num_logical), -1)], False
+
+        roots = [make_root(range(num_logical), 0)]
+        if self.try_swap_free_fast_path:
+            embedding = find_swap_free_mapping(
+                problem.circuit.interaction_graph(),
+                problem.coupling,
+                num_logical,
+            )
+            if embedding is not None:
+                mapping = [embedding[l] for l in range(num_logical)]
+                roots.insert(0, make_root(mapping, 0))
+        return roots, True
+
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        problem: MappingProblem,
+        initial_mapping: Optional[Sequence[int]],
+        find_all: bool,
+        max_solutions: int = 64,
+    ) -> List[MappingResult]:
+        start_clock = _time.perf_counter()
+        roots, prefix_mode = self._roots(problem, initial_mapping)
+        state_filter = StateFilter(problem, dominance=self.dominance)
+        counter = itertools.count()
+        heap: List[Tuple[int, int, int, SearchNode]] = []
+        seen_prefix_mappings: Dict[Tuple[int, ...], int] = {}
+        prefix_cap = (
+            self.coupling.longest_simple_path_bound() if prefix_mode else 0
+        )
+
+        def push(node: SearchNode) -> None:
+            node.h = heuristic_cost(problem, node, swap_aware=self.informed)
+            node.f = node.time + node.h
+            heapq.heappush(heap, (node.f, -node.started, next(counter), node))
+
+        for root in roots:
+            if prefix_mode:
+                seen_prefix_mappings.setdefault(root.pos, 0)
+            push(root)
+
+        expanded = 0
+        generated = len(roots)
+        redundant = 0
+        best_depth: Optional[int] = None
+        solutions: List[MappingResult] = []
+
+        while heap:
+            f, _neg_started, _tick, node = heapq.heappop(heap)
+            if node.killed:
+                continue
+            if best_depth is not None and f > best_depth:
+                break
+            if node.is_terminal(problem.num_gates):
+                if best_depth is None:
+                    best_depth = node.time
+                if node.time == best_depth:
+                    solutions.append(
+                        self._reconstruct(
+                            problem,
+                            node,
+                            stats={
+                                "nodes_expanded": expanded,
+                                "nodes_generated": generated,
+                                "filtered_equivalent": state_filter.equivalent_dropped,
+                                "filtered_dominated": state_filter.dominated_dropped,
+                                "killed": state_filter.killed,
+                                "redundant": redundant,
+                                "distinct_states": state_filter.num_states,
+                                "seconds": _time.perf_counter() - start_clock,
+                            },
+                        )
+                    )
+                if not find_all or len(solutions) >= max_solutions:
+                    break
+                continue
+
+            node.dropped = True  # closed: may no longer exercise dominance
+            expanded += 1
+            if self.max_nodes is not None and expanded > self.max_nodes:
+                raise SearchBudgetExceeded(
+                    f"expanded more than {self.max_nodes} nodes"
+                )
+            if (
+                self.max_seconds is not None
+                and _time.perf_counter() - start_clock > self.max_seconds
+            ):
+                raise SearchBudgetExceeded(
+                    f"exceeded {self.max_seconds} seconds"
+                )
+
+            if node.in_prefix:
+                for child in self._expand_prefix(
+                    problem, node, prefix_cap, seen_prefix_mappings
+                ):
+                    generated += 1
+                    push(child)
+            children = expand(problem, node, OPTIMAL_EXPANSION)
+            for child in children:
+                generated += 1
+                if state_filter.admit(child):
+                    push(child)
+
+        if not solutions:
+            raise SearchBudgetExceeded(
+                "search ended without reaching a terminal node"
+            )
+        return solutions
+
+    # ------------------------------------------------------------------
+    def _expand_prefix(
+        self,
+        problem: MappingProblem,
+        node: SearchNode,
+        prefix_cap: int,
+        seen: Dict[Tuple[int, ...], int],
+    ) -> List[SearchNode]:
+        """Free pure-SWAP layer children (Section 5.3, mode 2)."""
+        if node.prefix_layers >= prefix_cap:
+            return []
+        candidate_swaps = [
+            (p, q)
+            for p, q in problem.edges
+            if node.inv[p] >= 0 or node.inv[q] >= 0
+        ]
+        children: List[SearchNode] = []
+
+        def recurse(start: int, mask: int, chosen: List[Tuple[int, int]]) -> None:
+            if chosen:
+                pos = list(node.pos)
+                inv = list(node.inv)
+                for p, q in chosen:
+                    l1, l2 = inv[p], inv[q]
+                    inv[p], inv[q] = l2, l1
+                    if l1 >= 0:
+                        pos[l1] = q
+                    if l2 >= 0:
+                        pos[l2] = p
+                key = tuple(pos)
+                if key not in seen:
+                    seen[key] = node.prefix_layers + 1
+                    children.append(
+                        SearchNode(
+                            time=0,
+                            pos=key,
+                            inv=tuple(inv),
+                            ptr=node.ptr,
+                            started=0,
+                            inflight=(),
+                            last_swaps=frozenset(),
+                            prev_startable=frozenset(),
+                            parent=node,
+                            actions=tuple(("s", p, q) for p, q in chosen),
+                            prefix_layers=node.prefix_layers + 1,
+                        )
+                    )
+            for i in range(start, len(candidate_swaps)):
+                p, q = candidate_swaps[i]
+                bit = (1 << p) | (1 << q)
+                if mask & bit:
+                    continue
+                chosen.append((p, q))
+                recurse(i + 1, mask | bit, chosen)
+                chosen.pop()
+
+        recurse(0, 0, [])
+        return children
+
+    # ------------------------------------------------------------------
+    def _reconstruct(
+        self,
+        problem: MappingProblem,
+        terminal: SearchNode,
+        stats: Dict[str, float],
+    ) -> MappingResult:
+        ops: List[ScheduledOp] = []
+        initial_pos = None
+        for decision_time, actions, child in terminal.path_actions():
+            parent = child.parent
+            if child.in_prefix:
+                continue  # free prefix layer: folded into the initial mapping
+            if initial_pos is None:
+                initial_pos = parent.pos
+            for action in actions:
+                if action[0] == "g":
+                    gate_index = action[1]
+                    gate = problem.circuit[gate_index]
+                    ops.append(
+                        ScheduledOp(
+                            gate_index=gate_index,
+                            name=gate.name,
+                            logical_qubits=gate.qubits,
+                            physical_qubits=tuple(
+                                parent.pos[l] for l in gate.qubits
+                            ),
+                            start=decision_time,
+                            duration=problem.gate_latency[gate_index],
+                        )
+                    )
+                else:
+                    _, p, q = action
+                    ops.append(
+                        ScheduledOp(
+                            gate_index=None,
+                            name="swap",
+                            logical_qubits=(parent.inv[p], parent.inv[q]),
+                            physical_qubits=(p, q),
+                            start=decision_time,
+                            duration=problem.swap_len,
+                        )
+                    )
+        if initial_pos is None:
+            # No scheduled actions at all (empty circuit) or pure prefix.
+            initial_pos = terminal.pos
+        ops.sort(key=lambda o: (o.start, o.physical_qubits))
+        return MappingResult(
+            circuit=problem.circuit,
+            coupling=problem.coupling,
+            latency=problem.latency,
+            initial_mapping=tuple(initial_pos),
+            ops=ops,
+            depth=terminal.time,
+            optimal=True,
+            stats=stats,
+        )

@@ -1,0 +1,388 @@
+"""Node expansion: enumerate successor states (paper Section 4.2, Expander).
+
+Given a node at an event time, the expander enumerates every compatible
+(qubit-disjoint) set of startable actions — dependency-resolved original
+gates whose operands are adjacent and idle, plus SWAPs on idle coupled
+pairs — applies the three redundancy criteria, starts the chosen set, and
+advances to the next finish event.
+
+The practical mapper (Section 6.2) reuses this machinery with extra
+restrictions: ready original gates are always started, candidate SWAPs are
+limited to those relevant to the blocked CNOT frontier, and SWAPs that would
+break a currently-satisfiable frontier gate are rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .problem import MappingProblem
+from .state import Action, K_GATE, K_SWAP, SearchNode
+
+
+@dataclass
+class ExpansionConfig:
+    """Tuning knobs for node expansion.
+
+    Attributes:
+        greedy_gates: Start every startable original gate immediately
+            (practical-mode relaxation; optimal mode must keep this False
+            since delaying a gate can enable an earlier SWAP).
+        frontier_swaps_only: Restrict candidate SWAPs to edges touching the
+            current positions of logical qubits belonging to blocked
+            frontier two-qubit gates.
+        protect_satisfied_frontier: Reject SWAPs that move an operand of a
+            dependency-ready, coupling-satisfied two-qubit gate (the
+            paper's "not allowing swaps that cause the executable gates on
+            the CNOT frontier not executable").
+        max_swaps_per_step: Cap on simultaneous SWAP starts per child
+            (None = unlimited; practical mode uses a small cap to bound
+            branching).
+        max_candidate_swaps: Keep only this many candidate SWAPs, ranked
+            by how much they shorten the blocked frontier's distances
+            (None = keep all; practical mode uses a small pool).
+    """
+
+    greedy_gates: bool = False
+    frontier_swaps_only: bool = False
+    protect_satisfied_frontier: bool = False
+    max_swaps_per_step: Optional[int] = None
+    max_candidate_swaps: Optional[int] = None
+
+
+OPTIMAL_EXPANSION = ExpansionConfig()
+
+
+def frontier_gates(problem: MappingProblem, node: SearchNode) -> List[int]:
+    """Dependency-ready gates (every operand pointer rests on them)."""
+    ready: List[int] = []
+    seen: Set[int] = set()
+    for logical in range(problem.num_logical):
+        index = node.ptr[logical]
+        if index >= len(problem.seq[logical]):
+            continue
+        gate = problem.seq[logical][index]
+        if gate in seen:
+            continue
+        seen.add(gate)
+        if all(
+            node.ptr[q] == problem.gate_pos[gate][q]
+            for q in problem.gate_qubits[gate]
+        ):
+            ready.append(gate)
+    ready.sort()
+    return ready
+
+
+def startable_actions(
+    problem: MappingProblem,
+    node: SearchNode,
+    config: ExpansionConfig = OPTIMAL_EXPANSION,
+) -> Tuple[List[Action], List[Action]]:
+    """Actions that may start at the node's current cycle.
+
+    Returns:
+        ``(gates, swaps)`` — startable original-gate actions and startable
+        SWAP actions, each qubit-idle, dependency-resolved and coupling-
+        compliant, with the cyclic-SWAP redundancy already removed.
+    """
+    busy = node.busy_physical(problem.gate_qubits)
+    gates: List[Action] = []
+    blocked_positions: Set[int] = set()
+    protected_positions: Set[int] = set()
+
+    for gate in frontier_gates(problem, node):
+        qubits = problem.gate_qubits[gate]
+        positions = [node.pos[q] for q in qubits]
+        if any(p < 0 for p in positions):
+            continue  # practical mapper places qubits before this point
+        if len(qubits) == 2:
+            p1, p2 = positions
+            adjacent = problem.dist[p1][p2] == 1
+            if not adjacent:
+                blocked_positions.update(positions)
+                continue
+            protected_positions.update(positions)
+            if p1 in busy or p2 in busy:
+                continue
+            gates.append(("g", gate))
+        else:
+            if positions[0] in busy:
+                continue
+            gates.append(("g", gate))
+
+    swaps: List[Action] = []
+    for p, q in problem.edges:
+        if p in busy or q in busy:
+            continue
+        if node.inv[p] < 0 and node.inv[q] < 0:
+            continue  # moving two unused qubits accomplishes nothing
+        if (p, q) in node.last_swaps:
+            continue  # cyclic SWAP: would cancel the one just completed
+        if config.frontier_swaps_only and not (
+            p in blocked_positions or q in blocked_positions
+        ):
+            continue
+        if config.protect_satisfied_frontier and (
+            p in protected_positions or q in protected_positions
+        ):
+            continue
+        swaps.append(("s", p, q))
+
+    if (
+        config.max_candidate_swaps is not None
+        and len(swaps) > config.max_candidate_swaps
+    ):
+        blocked_pairs = _blocked_frontier_pairs(problem, node)
+        dist = problem.dist
+
+        def improvement(action: Action) -> int:
+            _, p, q = action
+            gain = 0
+            for p1, p2 in blocked_pairs:
+                before = dist[p1][p2]
+                a1 = q if p1 == p else (p if p1 == q else p1)
+                a2 = q if p2 == p else (p if p2 == q else p2)
+                gain += before - dist[a1][a2]
+            return gain
+
+        swaps.sort(key=lambda a: (-improvement(a), a))
+        swaps = swaps[: config.max_candidate_swaps]
+    return gates, swaps
+
+
+def _blocked_frontier_pairs(
+    problem: MappingProblem, node: SearchNode
+) -> List[Tuple[int, int]]:
+    """Physical positions of blocked (non-adjacent) frontier CNOT pairs."""
+    pairs: List[Tuple[int, int]] = []
+    for gate in frontier_gates(problem, node):
+        qubits = problem.gate_qubits[gate]
+        if len(qubits) != 2:
+            continue
+        p1, p2 = node.pos[qubits[0]], node.pos[qubits[1]]
+        if p1 >= 0 and p2 >= 0 and problem.dist[p1][p2] > 1:
+            pairs.append((p1, p2))
+    return pairs
+
+
+def _action_mask(problem: MappingProblem, node: SearchNode, action: Action) -> int:
+    """Bitmask of the physical qubits an action occupies."""
+    if action[0] == "s":
+        return (1 << action[1]) | (1 << action[2])
+    mask = 0
+    for logical in problem.gate_qubits[action[1]]:
+        mask |= 1 << node.pos[logical]
+    return mask
+
+
+def enumerate_action_sets(
+    problem: MappingProblem,
+    node: SearchNode,
+    gates: Sequence[Action],
+    swaps: Sequence[Action],
+    config: ExpansionConfig = OPTIMAL_EXPANSION,
+) -> List[Tuple[Action, ...]]:
+    """All compatible action subsets (including the empty set).
+
+    In greedy-gate mode every startable gate is forced into each subset and
+    only the SWAP choice varies; in optimal mode all subsets of the
+    combined action list are generated.  Subsets whose qubits overlap are
+    skipped during the recursion rather than generated and filtered.
+    """
+    results: List[Tuple[Action, ...]] = []
+
+    if config.greedy_gates:
+        base: List[Action] = []
+        base_mask = 0
+        for action in gates:
+            mask = _action_mask(problem, node, action)
+            if not (base_mask & mask):
+                base.append(action)
+                base_mask |= mask
+        candidates = [
+            (a, _action_mask(problem, node, a))
+            for a in swaps
+            if not (_action_mask(problem, node, a) & base_mask)
+        ]
+        limit = config.max_swaps_per_step
+
+        def recurse_swaps(start: int, mask: int, chosen: List[Action]) -> None:
+            results.append(tuple(base) + tuple(chosen))
+            if limit is not None and len(chosen) >= limit:
+                return
+            for i in range(start, len(candidates)):
+                action, amask = candidates[i]
+                if mask & amask:
+                    continue
+                chosen.append(action)
+                recurse_swaps(i + 1, mask | amask, chosen)
+                chosen.pop()
+
+        recurse_swaps(0, base_mask, [])
+        return results
+
+    actions = [(a, _action_mask(problem, node, a)) for a in list(gates) + list(swaps)]
+
+    def recurse(start: int, mask: int, chosen: List[Action], swap_count: int) -> None:
+        results.append(tuple(chosen))
+        for i in range(start, len(actions)):
+            action, amask = actions[i]
+            if mask & amask:
+                continue
+            is_swap = action[0] == "s"
+            if (
+                is_swap
+                and config.max_swaps_per_step is not None
+                and swap_count >= config.max_swaps_per_step
+            ):
+                continue
+            chosen.append(action)
+            recurse(i + 1, mask | amask, chosen, swap_count + (1 if is_swap else 0))
+            chosen.pop()
+
+    recurse(0, 0, [], 0)
+    return results
+
+
+def apply_action_set(
+    problem: MappingProblem,
+    node: SearchNode,
+    action_set: Tuple[Action, ...],
+    all_startable: FrozenSet[Action],
+) -> Optional[SearchNode]:
+    """Start ``action_set`` at ``node.time`` and advance to the next event.
+
+    Returns ``None`` when the set is empty and nothing is in flight (time
+    could not advance) — the caller never treats that as a child.
+
+    Args:
+        problem: Problem instance.
+        node: Parent node.
+        action_set: Qubit-disjoint startable actions.
+        all_startable: Every action startable at the parent (used to record
+            ``prev_startable`` on the child for the redundancy check).
+    """
+    inflight = list(node.inflight)
+    ptr = list(node.ptr)
+    started = node.started
+    last_swaps = set(node.last_swaps)
+    touched: Set[int] = set()
+    time = node.time
+
+    for action in action_set:
+        if action[0] == "g":
+            gate = action[1]
+            for logical in problem.gate_qubits[gate]:
+                ptr[logical] += 1
+                touched.add(node.pos[logical])
+            started += 1
+            inflight.append(
+                (time + problem.gate_latency[gate], K_GATE, gate, 0)
+            )
+        else:
+            _, p, q = action
+            touched.add(p)
+            touched.add(q)
+            inflight.append((time + problem.swap_len, K_SWAP, p, q))
+
+    if touched:
+        last_swaps = {
+            pair for pair in last_swaps
+            if pair[0] not in touched and pair[1] not in touched
+        }
+
+    if not inflight:
+        return None
+
+    next_time = min(item[0] for item in inflight)
+    pos = list(node.pos)
+    inv = list(node.inv)
+    remaining = []
+    for item in inflight:
+        if item[0] > next_time:
+            remaining.append(item)
+            continue
+        _finish, kind, a, b = item
+        if kind == K_SWAP:
+            l1, l2 = inv[a], inv[b]
+            inv[a], inv[b] = l2, l1
+            if l1 >= 0:
+                pos[l1] = b
+            if l2 >= 0:
+                pos[l2] = a
+            last_swaps.add((a, b))
+    remaining.sort()
+
+    chosen_mask = _mask_of(touched)
+    prev_startable = frozenset(
+        action
+        for action in all_startable
+        if action not in action_set
+        and not (_action_mask(problem, node, action) & chosen_mask)
+    )
+
+    return SearchNode(
+        time=next_time,
+        pos=tuple(pos),
+        inv=tuple(inv),
+        ptr=tuple(ptr),
+        started=started,
+        inflight=tuple(remaining),
+        last_swaps=frozenset(last_swaps),
+        prev_startable=prev_startable,
+        parent=node,
+        actions=tuple(action_set),
+        prefix_layers=-1,
+    )
+
+
+def _mask_of(qubits: Set[int]) -> int:
+    mask = 0
+    for q in qubits:
+        mask |= 1 << q
+    return mask
+
+
+def expand(
+    problem: MappingProblem,
+    node: SearchNode,
+    config: ExpansionConfig = OPTIMAL_EXPANSION,
+) -> List[SearchNode]:
+    """All non-redundant children of ``node``.
+
+    Applies, in order: the coupling and dependency criteria (inside
+    :func:`startable_actions`), the cyclic-SWAP check, the empty-set rule
+    (waiting is only allowed while something is in flight), and the
+    could-have-started-earlier redundancy rule against the parent's
+    recorded startable set.
+    """
+    gates, swaps = startable_actions(problem, node, config)
+    all_startable = frozenset(gates) | frozenset(swaps)
+    children: List[SearchNode] = []
+    action_sets = enumerate_action_sets(problem, node, gates, swaps, config)
+    for action_set in action_sets:
+        if not action_set:
+            if not node.inflight:
+                continue  # cannot let time pass with nothing running
+        elif action_set and all(
+            action in node.prev_startable for action in action_set
+        ):
+            continue  # a sibling of the parent already started these earlier
+        child = apply_action_set(problem, node, action_set, all_startable)
+        if child is not None:
+            children.append(child)
+    if not children and all_startable:
+        # Every action set was redundant against the parent's startable
+        # record.  In the optimal search the parent's siblings cover those
+        # schedules, but a bounded-queue (practical-mode) search may have
+        # trimmed them away — regenerate ignoring the redundancy rule so
+        # the node is never a dead end.
+        for action_set in action_sets:
+            if not action_set:
+                continue
+            child = apply_action_set(problem, node, action_set, all_startable)
+            if child is not None:
+                children.append(child)
+    return children

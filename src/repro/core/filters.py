@@ -1,0 +1,179 @@
+"""Hash-based node filtering (paper Section 4.2, Filter; Fig. 5).
+
+Nodes are grouped by a hash of their *effective* state — the qubit mapping
+assuming all in-flight SWAPs take effect, together with per-qubit scheduling
+progress.  Within a group two checks run:
+
+* **Equivalence** — a node identical to a stored one (same cycle, same
+  per-qubit release times, same in-flight gate finish times) is dropped
+  (Fig. 5a).
+* **Comparative analysis (dominance)** — node ``A`` is dropped when some
+  stored ``B`` with the same effective state finishes every started gate no
+  later and releases every physical qubit no later, at a cycle no later
+  (Fig. 5b).  Conversely a stored node dominated by a newcomer is lazily
+  *killed*: it stays in the priority queue but is skipped when popped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .problem import MappingProblem
+from .state import K_SWAP, SearchNode
+
+
+class _Entry:
+    __slots__ = ("time", "qfree", "gate_finish", "node")
+
+    def __init__(self, time, qfree, gate_finish, node):
+        self.time = time
+        self.qfree = qfree
+        self.gate_finish = gate_finish
+        self.node = node
+
+
+def _profile(
+    problem: MappingProblem, node: SearchNode
+) -> Tuple[Tuple[int, ...], Dict[int, int]]:
+    """Per-physical-qubit release times and in-flight gate finish times."""
+    qfree = [node.time] * problem.num_physical
+    gate_finish: Dict[int, int] = {}
+    for finish, kind, a, b in node.inflight:
+        if kind == K_SWAP:
+            qfree[a] = max(qfree[a], finish)
+            qfree[b] = max(qfree[b], finish)
+        else:
+            gate_finish[a] = finish
+            for logical in problem.gate_qubits[a]:
+                p = node.pos[logical]
+                qfree[p] = max(qfree[p], finish)
+    return tuple(qfree), gate_finish
+
+
+def _dominates(better: _Entry, worse: _Entry) -> bool:
+    """True when ``better`` can mimic any completion of ``worse``.
+
+    Beyond the timing conditions (no later anywhere), the dominating node
+    must not be more *restricted* than the dominated one: its subtree
+    prunes first steps recorded in ``prev_startable`` (could-have-started-
+    earlier redundancy) and immediate-undo SWAPs recorded in
+    ``last_swaps``, so those sets must be subsets of the loser's —
+    otherwise a completion available under ``worse`` may be pruned under
+    ``better`` and optimality is lost.
+    """
+    if better.time > worse.time:
+        return False
+    for p, release in enumerate(better.qfree):
+        if release > worse.qfree[p]:
+            return False
+    for gate in better.gate_finish.keys() | worse.gate_finish.keys():
+        finish_better = better.gate_finish.get(gate, better.time)
+        finish_worse = worse.gate_finish.get(gate, worse.time)
+        if finish_better > finish_worse:
+            return False
+    if not better.node.last_swaps <= worse.node.last_swaps:
+        return False
+    if not better.node.prev_startable <= worse.node.prev_startable:
+        return False
+    return True
+
+
+class StateFilter:
+    """Equivalence + dominance filter over generated nodes.
+
+    Usage: call :meth:`admit` on every freshly generated node; a ``False``
+    return means the node is redundant and must not be queued.  Stored
+    nodes that become dominated are marked ``killed`` (the A* loop skips
+    killed nodes when popping).
+    """
+
+    def __init__(
+        self,
+        problem: MappingProblem,
+        dominance: bool = True,
+        live_only: bool = False,
+    ) -> None:
+        self._problem = problem
+        self._dominance = dominance
+        self._live_only = live_only
+        self._table: Dict[Tuple, List[_Entry]] = {}
+        self.equivalent_dropped = 0
+        self.dominated_dropped = 0
+        self.killed = 0
+
+    def admit(self, node: SearchNode) -> bool:
+        """Consider ``node``; True if it should enter the priority queue."""
+        key = node.filter_key()
+        qfree, gate_finish = _profile(self._problem, node)
+        entry = _Entry(node.time, qfree, gate_finish, node)
+        bucket = self._table.get(key)
+        if bucket is None:
+            self._table[key] = [entry]
+            return True
+        survivors: List[_Entry] = []
+        for existing in bucket:
+            if existing.node.killed:
+                continue
+            if self._live_only and existing.node.dropped:
+                continue
+            equivalent = (
+                existing.time == entry.time
+                and existing.qfree == entry.qfree
+                and existing.gate_finish == entry.gate_finish
+            )
+            if equivalent:
+                self.equivalent_dropped += 1
+                return False
+            # Dominance may only be exercised by *open* nodes (still in
+            # the priority queue) — the paper compares expanded nodes "to
+            # all the previous nodes (in the priority queue)".  A closed
+            # node's coverage of the newcomer runs through its own
+            # descendants, one of which may BE the newcomer (e.g. the
+            # wait-child realizing a pending SWAP); dropping it would
+            # sever the only path that justified the domination.
+            if (
+                self._dominance
+                and not existing.node.dropped
+                and _dominates(existing, entry)
+            ):
+                self.dominated_dropped += 1
+                return False
+            survivors.append(existing)
+        kept: List[_Entry] = []
+        for existing in survivors:
+            if (
+                self._dominance
+                and not existing.node.dropped
+                and _dominates(entry, existing)
+            ):
+                existing.node.killed = True
+                self.killed += 1
+            else:
+                kept.append(existing)
+        kept.append(entry)
+        self._table[key] = kept
+        return True
+
+    @property
+    def num_states(self) -> int:
+        """Number of distinct effective states seen so far."""
+        return len(self._table)
+
+    def compact(self) -> None:
+        """Drop entries whose nodes are dead (killed or dropped).
+
+        Only meaningful in ``live_only`` mode, where dead entries can
+        never filter anything again; long practical-mode runs call this
+        on every queue trim to keep memory proportional to the open list.
+        """
+        if not self._live_only:
+            return
+        table: Dict[Tuple, List[_Entry]] = {}
+        for key, bucket in self._table.items():
+            alive = [
+                e for e in bucket
+                if not e.node.killed and not e.node.dropped
+            ]
+            if alive:
+                table[key] = alive
+        self._table = table

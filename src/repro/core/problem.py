@@ -1,0 +1,103 @@
+"""Preprocessed mapping-problem instance shared by the search components.
+
+Bundles the circuit, architecture and latency model together with the
+derived structures every search step needs: per-logical-qubit gate chains
+(the dependency DAG of Fig. 7 in per-qubit form), per-gate latencies, and
+the architecture's distance matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import Circuit
+from ..circuit.latency import LatencyModel, uniform_latency
+
+
+class MappingProblem:
+    """An instance of the qubit-mapping problem.
+
+    Attributes:
+        circuit: The logical input circuit.
+        coupling: The hardware coupling graph.
+        latency: Gate latency model.
+        num_logical: Number of logical qubits.
+        num_physical: Number of physical qubits (``>= num_logical``).
+        gate_qubits: Per-gate operand tuples.
+        gate_latency: Per-gate latency in cycles.
+        swap_len: Latency of an inserted SWAP.
+        seq: ``seq[l]`` lists the gate indices touching logical qubit ``l``
+            in program order.
+        gate_pos: ``gate_pos[g][l]`` is the position of gate ``g`` within
+            ``seq[l]``.
+        dist: All-pairs physical shortest-path distances.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        coupling: CouplingGraph,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        if circuit.num_qubits > coupling.num_qubits:
+            raise ValueError(
+                f"circuit has {circuit.num_qubits} logical qubits but "
+                f"{coupling.name or 'architecture'} has only "
+                f"{coupling.num_qubits} physical qubits"
+            )
+        self.circuit = circuit
+        self.coupling = coupling
+        self.latency = latency if latency is not None else uniform_latency()
+        self.num_logical = circuit.num_qubits
+        self.num_physical = coupling.num_qubits
+        self.gate_qubits: Tuple[Tuple[int, ...], ...] = tuple(
+            g.qubits for g in circuit
+        )
+        self.gate_latency: Tuple[int, ...] = tuple(
+            self.latency.gate_latency(g) for g in circuit
+        )
+        self.swap_len: int = self.latency.swap_latency()
+        self.num_gates = len(circuit)
+
+        self.seq: List[List[int]] = [[] for _ in range(self.num_logical)]
+        self.gate_pos: List[Dict[int, int]] = []
+        for index, qubits in enumerate(self.gate_qubits):
+            positions: Dict[int, int] = {}
+            for q in qubits:
+                positions[q] = len(self.seq[q])
+                self.seq[q].append(index)
+            self.gate_pos.append(positions)
+
+        # suffix_load[l][i] = total latency of seq[l][i:] — a qubit must
+        # run its remaining gates serially, so this is a cheap O(1) lower
+        # bound on its remaining busy time (used to keep the truncated
+        # practical-mode cost comparable across progress levels).
+        self.suffix_load: List[List[int]] = []
+        for logical in range(self.num_logical):
+            suffix = [0] * (len(self.seq[logical]) + 1)
+            for i in range(len(self.seq[logical]) - 1, -1, -1):
+                suffix[i] = suffix[i + 1] + self.gate_latency[self.seq[logical][i]]
+            self.suffix_load.append(suffix)
+
+        self.dist = coupling.distance_matrix
+        self.edges = coupling.edges
+        self.neighbors = [coupling.neighbors(p) for p in range(self.num_physical)]
+
+    def ideal_depth(self) -> int:
+        """Depth on an all-to-all architecture (cost lower bound)."""
+        return self.circuit.depth(self.latency)
+
+    def trivial_mapping(self) -> Tuple[int, ...]:
+        """The identity initial mapping (logical ``l`` on physical ``l``)."""
+        return tuple(range(self.num_logical))
+
+    def is_gate_started(self, gate_index: int, ptr: Tuple[int, ...]) -> bool:
+        """True when ``gate_index`` has been scheduled under pointers ``ptr``.
+
+        ``ptr[l]`` is the per-qubit count of scheduled gates; a gate is
+        started once the pointer of (any of) its operand qubits has moved
+        past it — the expander bumps all operand pointers atomically.
+        """
+        qubit = self.gate_qubits[gate_index][0]
+        return ptr[qubit] > self.gate_pos[gate_index][qubit]

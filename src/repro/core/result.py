@@ -1,0 +1,159 @@
+"""Mapping results: cycle-accurate schedules of transformed circuits.
+
+Every mapper in this library — the optimal TOQM search, the practical
+heuristic variant, and all baselines — returns a :class:`MappingResult`:
+the initial logical→physical mapping plus a list of :class:`ScheduledOp`
+(original gates and inserted SWAPs) with explicit start cycles.  The result's
+``depth`` is the paper's *cycle* metric: the finish time of the last gate of
+the whole transformed circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import Circuit
+from ..circuit.gate import Gate, SWAP_NAME
+from ..circuit.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operation in the transformed circuit with explicit timing.
+
+    Attributes:
+        gate_index: Index of the original gate in the input circuit, or
+            ``None`` for an inserted SWAP.
+        name: Gate mnemonic (``"swap"`` for inserted SWAPs).
+        logical_qubits: Logical operands at execution time (for an inserted
+            SWAP, the two logical qubits whose states it exchanges; a dummy
+            slot is ``-1`` when a SWAP moves an unused physical qubit).
+        physical_qubits: Physical qubits the operation runs on.
+        start: Start cycle (0-based).
+        duration: Latency in cycles.
+    """
+
+    gate_index: Optional[int]
+    name: str
+    logical_qubits: Tuple[int, ...]
+    physical_qubits: Tuple[int, ...]
+    start: int
+    duration: int
+
+    @property
+    def end(self) -> int:
+        """First cycle after the operation completes."""
+        return self.start + self.duration
+
+    @property
+    def is_inserted_swap(self) -> bool:
+        """True for SWAPs added by the mapper (not in the input circuit)."""
+        return self.gate_index is None
+
+    def __str__(self) -> str:
+        phys = ",".join(f"Q{p}" for p in self.physical_qubits)
+        logical = ",".join(
+            "·" if q < 0 else f"q{q}" for q in self.logical_qubits
+        )
+        tag = "SWAP" if self.is_inserted_swap else self.name
+        return f"[{self.start:>4}..{self.end:>4}) {tag:<6} {phys} ({logical})"
+
+
+@dataclass
+class MappingResult:
+    """A transformed, hardware-compliant circuit with its schedule.
+
+    Attributes:
+        circuit: The original logical circuit.
+        coupling: Target architecture.
+        latency: Latency model the schedule was computed under.
+        initial_mapping: ``initial_mapping[l]`` is the physical qubit the
+            logical qubit ``l`` starts on.
+        ops: Scheduled operations sorted by start cycle.
+        depth: Total cycles of the transformed circuit (max op end).
+        optimal: True when produced by the exact search (Section 5).
+        stats: Mapper-specific counters (nodes expanded, pruned, ...).
+    """
+
+    circuit: Circuit
+    coupling: CouplingGraph
+    latency: LatencyModel
+    initial_mapping: Tuple[int, ...]
+    ops: List[ScheduledOp]
+    depth: int
+    optimal: bool = False
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_inserted_swaps(self) -> int:
+        """Number of SWAP gates the mapper inserted."""
+        return sum(1 for op in self.ops if op.is_inserted_swap)
+
+    @property
+    def ideal_depth(self) -> int:
+        """Depth of the original circuit on an all-to-all architecture."""
+        return self.circuit.depth(self.latency)
+
+    def final_mapping(self) -> Tuple[int, ...]:
+        """Logical→physical mapping after all *inserted* SWAPs complete.
+
+        A SWAP gate that was part of the input circuit is a computational
+        operation on two logical qubits (it exchanges their states, not
+        their homes), so only mapper-inserted SWAPs move logical qubits.
+        """
+        position = list(self.initial_mapping)
+        inverse: Dict[int, int] = {p: l for l, p in enumerate(position)}
+        for op in sorted(self.ops, key=lambda o: o.end):
+            if op.is_inserted_swap:
+                p, q = op.physical_qubits
+                lp, lq = inverse.get(p, -1), inverse.get(q, -1)
+                if lp >= 0:
+                    position[lp] = q
+                if lq >= 0:
+                    position[lq] = p
+                inverse[p], inverse[q] = lq, lp
+        return tuple(position)
+
+    def to_physical_circuit(self) -> Circuit:
+        """The transformed circuit on physical qubits, in start order.
+
+        Ties in start cycle are broken by physical qubit index, which keeps
+        the output deterministic.  The result is a plain :class:`Circuit`
+        over ``coupling.num_qubits`` qubits whose two-qubit gates all lie
+        on coupling edges.
+        """
+        physical = Circuit(
+            self.coupling.num_qubits,
+            name=f"{self.circuit.name}@{self.coupling.name}",
+        )
+        for op in sorted(self.ops, key=lambda o: (o.start, o.physical_qubits)):
+            if op.gate_index is not None:
+                template = self.circuit[op.gate_index]
+                physical.append(template.on(*op.physical_qubits))
+            else:
+                physical.append(Gate(SWAP_NAME, op.physical_qubits))
+        return physical
+
+    def describe(self, max_ops: int = 60) -> str:
+        """Human-readable multi-line summary of the schedule."""
+        lines = [
+            f"circuit  : {self.circuit.name or '<unnamed>'} "
+            f"({self.circuit.num_qubits} qubits, {len(self.circuit)} gates)",
+            f"arch     : {self.coupling.name} "
+            f"({self.coupling.num_qubits} qubits)",
+            f"depth    : {self.depth} cycles "
+            f"(ideal {self.ideal_depth}, "
+            f"{'optimal' if self.optimal else 'heuristic'})",
+            f"swaps    : {self.num_inserted_swaps} inserted",
+            f"mapping  : "
+            + " ".join(
+                f"q{l}->Q{p}" for l, p in enumerate(self.initial_mapping)
+            ),
+        ]
+        shown = self.ops[:max_ops]
+        lines += [str(op) for op in shown]
+        if len(self.ops) > max_ops:
+            lines.append(f"... ({len(self.ops) - max_ops} more ops)")
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Search-node representation (the paper's circuit *states*, Section 4.1).
+
+A node captures the circuit's state at a cycle: the logical→physical
+mapping, per-qubit scheduling progress, and the busy/idle status of every
+qubit — for busy qubits, which action is executing and when it finishes.
+
+The search advances between *event times* (cycles where some in-flight
+action finishes): in any schedule normalized so no action can start one
+cycle earlier, actions only ever start at cycle 0 or at a finish event
+(DESIGN.md §4), so expanding at event times explores exactly the paper's
+cycle-by-cycle space without materializing idle intermediate nodes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+#: An action: ``("g", gate_index)`` starts an original gate, ``("s", p, q)``
+#: starts an inserted SWAP on physical qubits ``p < q``.
+Action = Tuple
+
+#: An in-flight item: ``(finish_cycle, kind, a, b)`` where ``kind`` is
+#: ``K_GATE`` (``a`` = gate index, ``b`` = 0) or ``K_SWAP`` (``a, b`` =
+#: physical qubits).
+K_GATE = 0
+K_SWAP = 1
+
+
+class SearchNode:
+    """One state in the search graph.
+
+    Attributes:
+        time: Current cycle (the node's ``g(v)`` cost once past the free
+            initial-mapping prefix).
+        pos: ``pos[l]`` — physical position of logical qubit ``l``
+            (``-1`` when the heuristic mapper has not yet placed it).
+        inv: ``inv[p]`` — logical qubit on physical ``p`` (``-1`` if free).
+        ptr: per-logical-qubit count of already-started gates.
+        started: number of original gates started (progress measure).
+        inflight: sorted tuple of in-flight items (see module docstring).
+        last_swaps: physical pairs whose SWAP just completed with no later
+            action touching either qubit — an identical SWAP would cancel
+            it (the expander's cyclic-SWAP redundancy check).
+        prev_startable: actions startable at the parent's decision point
+            and compatible with the parent's chosen set — a child starting
+            only such actions is redundant (Section 4.2, Redundancy).
+        parent: parent node (``None`` at the root).
+        actions: the action set this node's creation started, at cycle
+            ``parent.time``.
+        prefix_layers: number of free initial-mapping SWAP layers consumed
+            (Section 5.3 mode 2); ``-1`` once real scheduling has begun.
+        h: heuristic cost-to-go; ``f = time + h``.
+        killed: set when a dominating node made this one obsolete.
+        dropped: set when the practical mapper removes the node from its
+            open list (trim or expansion); dropped nodes no longer count
+            for equivalence/dominance filtering, so bounded-queue searches
+            cannot starve themselves by blacklisting trimmed states.
+    """
+
+    __slots__ = (
+        "time",
+        "pos",
+        "inv",
+        "ptr",
+        "started",
+        "inflight",
+        "last_swaps",
+        "prev_startable",
+        "parent",
+        "actions",
+        "prefix_layers",
+        "h",
+        "f",
+        "killed",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        time: int,
+        pos: Tuple[int, ...],
+        inv: Tuple[int, ...],
+        ptr: Tuple[int, ...],
+        started: int,
+        inflight: Tuple[Tuple[int, int, int, int], ...],
+        last_swaps: FrozenSet[Tuple[int, int]],
+        prev_startable: FrozenSet[Action],
+        parent: Optional["SearchNode"],
+        actions: Tuple[Action, ...],
+        prefix_layers: int = -1,
+    ) -> None:
+        self.time = time
+        self.pos = pos
+        self.inv = inv
+        self.ptr = ptr
+        self.started = started
+        self.inflight = inflight
+        self.last_swaps = last_swaps
+        self.prev_startable = prev_startable
+        self.parent = parent
+        self.actions = actions
+        self.prefix_layers = prefix_layers
+        self.h = 0
+        self.f = 0
+        self.killed = False
+        self.dropped = False
+
+    @property
+    def in_prefix(self) -> bool:
+        """True while the node is still in the free initial-SWAP prefix."""
+        return self.prefix_layers >= 0
+
+    def is_terminal(self, total_started: int) -> bool:
+        """All gates started and nothing in flight ⇒ circuit finished."""
+        return self.started == total_started and not self.inflight
+
+    def busy_physical(self, gate_qubits) -> FrozenSet[int]:
+        """Physical qubits currently executing an in-flight action.
+
+        Args:
+            gate_qubits: ``problem.gate_qubits`` — needed to resolve the
+                physical operands of in-flight original gates (a logical
+                qubit cannot move while it is executing, so its current
+                ``pos`` is where the gate runs).
+        """
+        busy = set()
+        for _finish, kind, a, b in self.inflight:
+            if kind == K_SWAP:
+                busy.add(a)
+                busy.add(b)
+            else:
+                for logical in gate_qubits[a]:
+                    busy.add(self.pos[logical])
+        return frozenset(busy)
+
+    def mapping_after_swaps(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(pos, inv) assuming all in-flight SWAPs have taken effect.
+
+        This is the mapping the filter hashes on (Section 4.2, Filter) and
+        the heuristic's π_rem (Section 5.1).
+        """
+        pos = list(self.pos)
+        inv = list(self.inv)
+        for _finish, kind, a, b in self.inflight:
+            if kind == K_SWAP:
+                l1, l2 = inv[a], inv[b]
+                inv[a], inv[b] = l2, l1
+                if l1 >= 0:
+                    pos[l1] = b
+                if l2 >= 0:
+                    pos[l2] = a
+        return tuple(pos), tuple(inv)
+
+    def filter_key(self) -> Tuple:
+        """Hash key for equivalence/dominance grouping."""
+        _pos, inv = self.mapping_after_swaps()
+        return (inv, self.ptr)
+
+    def path_actions(self):
+        """Yield ``(decision_time, actions, node)`` from the root down."""
+        chain = []
+        node = self
+        while node.parent is not None:
+            chain.append(node)
+            node = node.parent
+        for child in reversed(chain):
+            yield child.parent.time, child.actions, child
+
+    def __repr__(self) -> str:
+        phase = f" prefix={self.prefix_layers}" if self.in_prefix else ""
+        return (
+            f"<Node t={self.time} started={self.started} "
+            f"inflight={len(self.inflight)} f={self.f}{phase}>"
+        )

@@ -1,0 +1,25 @@
+"""Closed-form generalized QFT schedules (paper Section 6.1.1, Fig. 13)."""
+
+from .grid2xn import (
+    qft_2xn_depth_formula,
+    qft_2xn_schedule,
+    qft_2xn_steps,
+)
+from .grid2xn_constrained import (
+    qft_2xn_constrained_depth_formula,
+    qft_2xn_constrained_schedule,
+    qft_2xn_constrained_steps,
+)
+from .lnn import qft_lnn_depth_formula, qft_lnn_schedule, qft_lnn_steps
+
+__all__ = [
+    "qft_lnn_steps",
+    "qft_lnn_schedule",
+    "qft_lnn_depth_formula",
+    "qft_2xn_steps",
+    "qft_2xn_schedule",
+    "qft_2xn_depth_formula",
+    "qft_2xn_constrained_steps",
+    "qft_2xn_constrained_schedule",
+    "qft_2xn_constrained_depth_formula",
+]

@@ -1,0 +1,116 @@
+"""Shared helpers for the closed-form QFT schedules of Section 6.1.1.
+
+The generalized solutions (Fig. 13) are *synchronous step schedules*: a
+sequence of steps, each one cycle, where every operation in a step starts
+simultaneously.  This module turns such step lists into verified
+:class:`~repro.core.result.MappingResult` objects against the layered QFT
+skeleton circuit (Fig. 10), so the pattern emitters stay tiny and every
+claimed schedule goes through the same independent checker as the search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..arch.coupling import CouplingGraph
+from ..circuit.circuit import Circuit
+from ..circuit.generators import qft_skeleton
+from ..circuit.latency import QFT_LATENCY, LatencyModel
+from ..core.result import MappingResult, ScheduledOp
+
+#: A step operation: ``("g", logical_pair, physical_pair)`` for a GT gate or
+#: ``("s", logical_pair, physical_pair)`` for a SWAP.
+StepOp = Tuple[str, Tuple[int, int], Tuple[int, int]]
+
+
+def gate_lookup(circuit: Circuit) -> Dict[Tuple[int, int], int]:
+    """Map each unordered logical pair to its (unique) GT gate index."""
+    table: Dict[Tuple[int, int], int] = {}
+    for index, gate in enumerate(circuit):
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            key = (min(a, b), max(a, b))
+            if key in table:
+                raise ValueError(f"pair {key} appears twice; not a QFT skeleton")
+            table[key] = index
+    return table
+
+
+def result_from_steps(
+    num_qubits: int,
+    coupling: CouplingGraph,
+    steps: Sequence[Sequence[StepOp]],
+    initial_mapping: Sequence[int],
+    latency: LatencyModel = QFT_LATENCY,
+    pattern_name: str = "",
+) -> MappingResult:
+    """Assemble a synchronous step schedule into a MappingResult.
+
+    Empty steps are skipped; every operation in step ``t`` starts at cycle
+    ``t`` (the paper's convention that each sub-figure of Figs. 11/12/14 is
+    one cycle — all QFT-analysis gates and SWAPs take one cycle).
+
+    Args:
+        num_qubits: QFT size ``n``.
+        coupling: Target architecture.
+        steps: The step list; see :data:`StepOp`.
+        initial_mapping: Logical→physical starting positions.
+        latency: Latency model (the QFT analysis uses all-ones).
+        pattern_name: Stored in the result's stats.
+
+    Returns:
+        A :class:`MappingResult` over the layered QFT skeleton.
+    """
+    circuit = qft_skeleton(num_qubits, layered=True)
+    lookup = gate_lookup(circuit)
+    ops: List[ScheduledOp] = []
+    cycle = 0
+    for step in steps:
+        if not step:
+            continue
+        step_duration = 0
+        for kind, logical_pair, physical_pair in step:
+            a, b = logical_pair
+            if kind == "g":
+                index = lookup[(min(a, b), max(a, b))]
+                gate = circuit[index]
+                duration = latency.gate_latency(gate)
+                # Match operand order to the gate's stored order.
+                if gate.qubits == (b, a):
+                    logical_pair = (b, a)
+                    physical_pair = (physical_pair[1], physical_pair[0])
+                ops.append(
+                    ScheduledOp(
+                        gate_index=index,
+                        name=gate.name,
+                        logical_qubits=tuple(logical_pair),
+                        physical_qubits=tuple(physical_pair),
+                        start=cycle,
+                        duration=duration,
+                    )
+                )
+            else:
+                duration = latency.swap_latency()
+                ops.append(
+                    ScheduledOp(
+                        gate_index=None,
+                        name="swap",
+                        logical_qubits=tuple(logical_pair),
+                        physical_qubits=tuple(physical_pair),
+                        start=cycle,
+                        duration=duration,
+                    )
+                )
+            step_duration = max(step_duration, duration)
+        cycle += step_duration
+    ops.sort(key=lambda o: (o.start, o.physical_qubits))
+    return MappingResult(
+        circuit=circuit,
+        coupling=coupling,
+        latency=latency,
+        initial_mapping=tuple(initial_mapping),
+        ops=ops,
+        depth=max((op.end for op in ops), default=0),
+        optimal=False,
+        stats={"pattern": pattern_name},
+    )

@@ -1,0 +1,92 @@
+"""Constrained optimal QFT on 2×N: no SWAP/gate mixing per cycle (Fig. 14 / 13c).
+
+Some control hardware cannot issue SWAPs and computation gates in the same
+cycle; under that constraint the paper solves for an optimal schedule and
+finds a more elegant pattern (19 cycles for QFT-8):
+
+* iteration ``i`` (``i = 0 .. n−2``) runs three pure steps —
+
+  1. SWAPs on every pair {j, 2i−j}, j < i (always same-parity ⇒ horizontal,
+     within a row);
+  2. GT on exactly the same pairs (sum ``2i``);
+  3. GT on every pair summing ``2i+1`` (mixed parity ⇒ vertical, one per
+     column).
+
+Empty boundary steps vanish, giving depth ``3n − 5`` for even ``n ≥ 4``
+(19 for QFT-8, matching Fig. 14's 19 steps).  A pleasant property the paper
+notes: the final layout is the mirror image of the initial one, so the
+pattern composes with itself.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..arch.library import grid
+from ..core.result import MappingResult
+from .common import StepOp, result_from_steps
+from .grid2xn import _Layout
+
+
+def _sum_pairs(total: int, n: int) -> List[Tuple[int, int]]:
+    """Pairs {j, total−j}, j < total−j < n."""
+    return [
+        (j, total - j) for j in range((total + 1) // 2) if j < total - j < n
+    ]
+
+
+def qft_2xn_constrained_steps(num_qubits: int) -> List[List[StepOp]]:
+    """Step list of the constrained (no mixing) 2×N schedule.
+
+    Args:
+        num_qubits: Even QFT size ``n >= 4``.
+    """
+    n = num_qubits
+    if n < 4 or n % 2:
+        raise ValueError("the constrained 2xN schedule needs an even n >= 4")
+    layout = _Layout(n)
+    steps: List[List[StepOp]] = []
+    for i in range(0, n - 1):
+        even_sum = 2 * i
+        swap_step: List[StepOp] = []
+        for a, b in _sum_pairs(even_sum, n):
+            swap_step.append(("s", (a, b), (layout.physical(a), layout.physical(b))))
+            layout.swap(a, b)
+        steps.append(swap_step)
+        steps.append(
+            [
+                ("g", (a, b), (layout.physical(a), layout.physical(b)))
+                for a, b in _sum_pairs(even_sum, n)
+            ]
+        )
+        steps.append(
+            [
+                ("g", (a, b), (layout.physical(a), layout.physical(b)))
+                for a, b in _sum_pairs(2 * i + 1, n)
+            ]
+        )
+    return steps
+
+
+def qft_2xn_constrained_schedule(num_qubits: int) -> MappingResult:
+    """Verified constrained schedule on ``grid(2, n/2)``.
+
+    Returns:
+        A :class:`MappingResult` with depth ``3·n − 5`` (19 for QFT-8,
+        reproducing Fig. 14), in which no cycle mixes SWAPs with gates.
+    """
+    steps = qft_2xn_constrained_steps(num_qubits)
+    return result_from_steps(
+        num_qubits,
+        grid(2, num_qubits // 2),
+        steps,
+        initial_mapping=list(range(num_qubits)),
+        pattern_name="qft-2xn-constrained",
+    )
+
+
+def qft_2xn_constrained_depth_formula(num_qubits: int) -> int:
+    """Closed-form depth of the constrained schedule: ``3n − 5``."""
+    if num_qubits < 4 or num_qubits % 2:
+        raise ValueError("the constrained 2xN schedule needs an even n >= 4")
+    return 3 * num_qubits - 5

@@ -1,0 +1,21 @@
+"""Schedule verification: structural checking, ASAP scheduling, and a
+state-vector semantic-equivalence oracle."""
+
+from .checker import VerificationError, is_valid, validate_result
+from .scheduler import ideal_depth, result_from_routed_ops
+from .simulator import (
+    assert_semantically_equivalent,
+    permute_statevector,
+    simulate,
+)
+
+__all__ = [
+    "validate_result",
+    "is_valid",
+    "VerificationError",
+    "ideal_depth",
+    "result_from_routed_ops",
+    "simulate",
+    "permute_statevector",
+    "assert_semantically_equivalent",
+]

@@ -1,0 +1,181 @@
+"""Independent validation of mapping results.
+
+The checker replays a :class:`~repro.core.result.MappingResult` cycle by
+cycle and verifies every property the qubit-mapping problem definition
+(Section 2.2) demands:
+
+* the initial mapping is an injective assignment of logical to physical
+  qubits;
+* every original gate appears exactly once, on the physical qubits its
+  logical operands actually occupy at its start cycle (tracking the mapping
+  through every inserted SWAP);
+* every two-qubit operation (gate or SWAP) runs on a coupled pair;
+* no physical qubit executes two operations at once;
+* gate dependencies are respected (a gate starts only after all its
+  predecessors in the original circuit have finished);
+* durations match the latency model and the reported depth matches the
+  schedule.
+
+Every mapper and baseline in the library is tested through this one gate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from ..circuit.dag import DependencyGraph
+from ..circuit.gate import SWAP_NAME
+from ..core.result import MappingResult
+
+
+class VerificationError(AssertionError):
+    """Raised when a schedule violates the qubit-mapping problem rules."""
+
+
+def validate_result(result: MappingResult) -> None:
+    """Raise :class:`VerificationError` unless ``result`` is a valid mapping.
+
+    Args:
+        result: The transformed circuit schedule to check.
+    """
+    circuit = result.circuit
+    coupling = result.coupling
+    num_physical = coupling.num_qubits
+
+    # --- initial mapping ------------------------------------------------
+    if len(result.initial_mapping) != circuit.num_qubits:
+        raise VerificationError(
+            f"initial mapping covers {len(result.initial_mapping)} logical "
+            f"qubits, circuit has {circuit.num_qubits}"
+        )
+    if len(set(result.initial_mapping)) != len(result.initial_mapping):
+        raise VerificationError("initial mapping is not injective")
+    for l, p in enumerate(result.initial_mapping):
+        if not 0 <= p < num_physical:
+            raise VerificationError(
+                f"logical qubit {l} mapped to invalid physical qubit {p}"
+            )
+
+    inverse: List[int] = [-1] * num_physical
+    for l, p in enumerate(result.initial_mapping):
+        inverse[p] = l
+
+    # --- replay ----------------------------------------------------------
+    dag = DependencyGraph(circuit)
+    gate_finish: Dict[int, int] = {}
+    seen_gates: Dict[int, int] = {}
+    busy_until = [0] * num_physical
+    pending_swaps: List = []  # heap of (end, physical pair)
+
+    ops = sorted(result.ops, key=lambda o: (o.start, o.physical_qubits))
+    for op in ops:
+        if op.duration < 1:
+            raise VerificationError(f"non-positive duration: {op}")
+        # Apply SWAP effects that completed by this op's start.
+        while pending_swaps and pending_swaps[0][0] <= op.start:
+            _, (p, q) = heapq.heappop(pending_swaps)
+            inverse[p], inverse[q] = inverse[q], inverse[p]
+
+        for p in op.physical_qubits:
+            if not 0 <= p < num_physical:
+                raise VerificationError(f"invalid physical qubit in {op}")
+            if op.start < busy_until[p]:
+                raise VerificationError(
+                    f"physical qubit Q{p} is busy until {busy_until[p]} "
+                    f"but {op} starts at {op.start}"
+                )
+            busy_until[p] = op.end
+
+        if len(op.physical_qubits) == 2:
+            p, q = op.physical_qubits
+            if not coupling.are_adjacent(p, q):
+                raise VerificationError(
+                    f"{op} uses non-adjacent physical qubits on "
+                    f"{coupling.name}"
+                )
+
+        if op.gate_index is None:
+            if op.name != SWAP_NAME:
+                raise VerificationError(
+                    f"inserted op must be a SWAP, got {op}"
+                )
+            if op.duration != result.latency.swap_latency():
+                raise VerificationError(
+                    f"inserted SWAP has duration {op.duration}, latency "
+                    f"model says {result.latency.swap_latency()}"
+                )
+            p, q = op.physical_qubits
+            heapq.heappush(pending_swaps, (op.end, (p, q)))
+            continue
+
+        # --- original gate checks ---------------------------------------
+        index = op.gate_index
+        if index in seen_gates:
+            raise VerificationError(
+                f"gate {index} scheduled twice (starts {seen_gates[index]} "
+                f"and {op.start})"
+            )
+        seen_gates[index] = op.start
+        gate = circuit[index]
+        if gate.name != op.name:
+            raise VerificationError(
+                f"op name {op.name!r} does not match gate {index} "
+                f"({gate.name!r})"
+            )
+        if tuple(op.logical_qubits) != gate.qubits:
+            raise VerificationError(
+                f"op logical qubits {op.logical_qubits} do not match "
+                f"gate {index} operands {gate.qubits}"
+            )
+        actual_logicals = tuple(inverse[p] for p in op.physical_qubits)
+        if actual_logicals != gate.qubits:
+            raise VerificationError(
+                f"gate {index} {gate} runs on physical {op.physical_qubits} "
+                f"holding logicals {actual_logicals} at cycle {op.start}"
+            )
+        for pred in dag.preds[index]:
+            if pred not in gate_finish:
+                raise VerificationError(
+                    f"gate {index} starts before predecessor {pred} is "
+                    "scheduled"
+                )
+            if gate_finish[pred] > op.start:
+                raise VerificationError(
+                    f"gate {index} starts at {op.start} but predecessor "
+                    f"{pred} finishes at {gate_finish[pred]}"
+                )
+        expected = result.latency.gate_latency(gate)
+        if op.duration != expected:
+            raise VerificationError(
+                f"gate {index} has duration {op.duration}, latency model "
+                f"says {expected}"
+            )
+        gate_finish[index] = op.end
+
+    # --- completeness -----------------------------------------------------
+    missing = [i for i in range(len(circuit)) if i not in seen_gates]
+    if missing:
+        raise VerificationError(
+            f"{len(missing)} original gates never scheduled "
+            f"(first missing: {missing[:5]})"
+        )
+    actual_depth = max((op.end for op in result.ops), default=0)
+    if actual_depth != result.depth:
+        raise VerificationError(
+            f"reported depth {result.depth} != schedule depth {actual_depth}"
+        )
+    if result.depth < result.ideal_depth:
+        raise VerificationError(
+            f"depth {result.depth} below ideal lower bound "
+            f"{result.ideal_depth}"
+        )
+
+
+def is_valid(result: MappingResult) -> bool:
+    """True when :func:`validate_result` passes."""
+    try:
+        validate_result(result)
+    except VerificationError:
+        return False
+    return True

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.arch import grid, ibm_qx2, ibm_tokyo, lnn
+from repro.circuit import Circuit, uniform_latency
+
+
+@pytest.fixture
+def lnn4():
+    return lnn(4)
+
+
+@pytest.fixture
+def lnn5():
+    return lnn(5)
+
+
+@pytest.fixture
+def qx2():
+    return ibm_qx2()
+
+
+@pytest.fixture
+def tokyo():
+    return ibm_tokyo()
+
+
+@pytest.fixture
+def grid2x3():
+    return grid(2, 3)
+
+
+@pytest.fixture
+def unit_latency():
+    return uniform_latency(1, 1)
+
+
+@pytest.fixture
+def fig1_circuit():
+    """The motivating circuit of Fig. 1(b): h q1; cx q1,q4; cx q2,q3."""
+    circuit = Circuit(4, name="fig1")
+    circuit.h(0)
+    circuit.cx(0, 3)
+    circuit.cx(1, 2)
+    return circuit

@@ -1,0 +1,170 @@
+"""Tests of the optimal A* mapper: exactness, optimality cross-checks."""
+
+import itertools
+
+import pytest
+
+from repro.arch import grid, ibm_qx2, lnn
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.generators import ghz_circuit, qft_skeleton, random_circuit
+from repro.core import OptimalMapper, SearchBudgetExceeded
+from repro.verify import validate_result
+
+
+def brute_force_depth(circuit, coupling, latency, initial_mapping):
+    """Reference optimal depth via uninformed exhaustive search."""
+    mapper = OptimalMapper(
+        coupling, latency, informed=False, dominance=False
+    )
+    return mapper.map(circuit, initial_mapping=initial_mapping).depth
+
+
+class TestBasic:
+    def test_already_compliant_circuit_unchanged(self, lnn4, unit_latency):
+        circuit = ghz_circuit(4)
+        result = OptimalMapper(lnn4, unit_latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        validate_result(result)
+        assert result.depth == circuit.depth(unit_latency)
+        assert result.num_inserted_swaps == 0
+        assert result.optimal
+
+    def test_single_swap_needed(self, unit_latency):
+        circuit = Circuit(3).cx(0, 2)
+        result = OptimalMapper(lnn(3), uniform_latency(1, 3)).map(
+            circuit, initial_mapping=[0, 1, 2]
+        )
+        validate_result(result)
+        assert result.depth == 4
+        assert result.num_inserted_swaps == 1
+
+    def test_empty_circuit(self, lnn4):
+        result = OptimalMapper(lnn4).map(Circuit(4), initial_mapping=[0, 1, 2, 3])
+        assert result.depth == 0
+        assert result.ops == []
+
+    def test_rejects_bad_initial_mapping(self, lnn4):
+        with pytest.raises(ValueError):
+            OptimalMapper(lnn4).map(ghz_circuit(4), initial_mapping=[0, 0, 1, 2])
+
+    def test_budget_exceeded_raises(self):
+        mapper = OptimalMapper(lnn(5), uniform_latency(1, 3), max_nodes=3)
+        with pytest.raises(SearchBudgetExceeded):
+            mapper.map(qft_skeleton(5), initial_mapping=list(range(5)))
+
+    def test_result_schedule_reconstructable(self, unit_latency):
+        circuit = Circuit(3).cx(0, 2).cx(0, 1).cx(1, 2)
+        result = OptimalMapper(lnn(3), uniform_latency(1, 3)).map(
+            circuit, initial_mapping=[0, 1, 2]
+        )
+        validate_result(result)
+        physical = result.to_physical_circuit()
+        assert len(physical) == len(circuit) + result.num_inserted_swaps
+
+
+class TestOptimalityCrossChecks:
+    """The informed+filtered search matches uninformed exhaustive search."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits_on_lnn(self, seed):
+        circuit = random_circuit(4, 7, two_qubit_fraction=0.8, seed=seed)
+        latency = uniform_latency(1, 3)
+        arch = lnn(4)
+        fast = OptimalMapper(arch, latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        validate_result(fast)
+        reference = brute_force_depth(circuit, arch, latency, [0, 1, 2, 3])
+        assert fast.depth == reference
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_on_qx2(self, seed, qx2):
+        circuit = random_circuit(5, 6, two_qubit_fraction=0.9, seed=seed + 50)
+        latency = uniform_latency(1, 3)
+        fast = OptimalMapper(qx2, latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3, 4]
+        )
+        validate_result(fast)
+        reference = brute_force_depth(circuit, qx2, latency, [0, 1, 2, 3, 4])
+        assert fast.depth == reference
+
+    def test_exhaustive_initial_mappings_vs_mode2(self):
+        """Mode-2 (free SWAP prefix) finds the best over all mappings."""
+        circuit = random_circuit(4, 6, two_qubit_fraction=0.9, seed=3)
+        latency = uniform_latency(1, 3)
+        arch = lnn(4)
+        best_fixed = min(
+            OptimalMapper(arch, latency)
+            .map(circuit, initial_mapping=list(perm))
+            .depth
+            for perm in itertools.permutations(range(4))
+        )
+        searched = OptimalMapper(
+            arch, latency, search_initial_mapping=True
+        ).map(circuit)
+        validate_result(searched)
+        assert searched.depth == best_fixed
+
+
+class TestDepthProperties:
+    def test_depth_never_below_ideal(self):
+        for seed in range(5):
+            circuit = random_circuit(4, 10, two_qubit_fraction=0.6, seed=seed)
+            latency = uniform_latency(1, 3)
+            result = OptimalMapper(lnn(4), latency).map(
+                circuit, initial_mapping=[0, 1, 2, 3]
+            )
+            assert result.depth >= circuit.depth(latency)
+
+    def test_richer_connectivity_never_hurts(self):
+        circuit = qft_skeleton(4)
+        latency = uniform_latency(1, 1)
+        on_line = OptimalMapper(lnn(4), latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        on_grid = OptimalMapper(grid(2, 2), latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        assert on_grid.depth <= on_line.depth
+
+    def test_dominance_filter_preserves_optimality(self):
+        circuit = random_circuit(4, 8, two_qubit_fraction=0.7, seed=9)
+        latency = uniform_latency(1, 3)
+        with_filter = OptimalMapper(lnn(4), latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        without = OptimalMapper(lnn(4), latency, dominance=False).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        assert with_filter.depth == without.depth
+
+
+class TestFindAll:
+    def test_all_solutions_share_optimal_depth(self):
+        circuit = Circuit(3).cx(0, 2)
+        latency = uniform_latency(1, 3)
+        mapper = OptimalMapper(lnn(3), latency)
+        solutions = mapper.find_all_optimal(
+            circuit, initial_mapping=[0, 1, 2], max_solutions=16
+        )
+        assert solutions
+        depths = {s.depth for s in solutions}
+        assert depths == {4}
+        for solution in solutions:
+            validate_result(solution)
+
+    def test_multiple_distinct_solutions_found(self):
+        # cx(q0,q2) on lnn-3: swapping (0,1) or (1,2) both give depth 4.
+        circuit = Circuit(3).cx(0, 2)
+        mapper = OptimalMapper(lnn(3), uniform_latency(1, 3))
+        solutions = mapper.find_all_optimal(
+            circuit, initial_mapping=[0, 1, 2], max_solutions=16
+        )
+        swap_choices = {
+            tuple(sorted(op.physical_qubits))
+            for s in solutions
+            for op in s.ops
+            if op.is_inserted_swap
+        }
+        assert len(swap_choices) >= 2

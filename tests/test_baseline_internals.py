@@ -1,0 +1,116 @@
+"""White-box tests of baseline internals (SABRE scoring, Zulehner layers)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.arch import grid, ibm_tokyo, lnn
+from repro.baselines.sabre import SabreMapper
+from repro.baselines.zulehner import ZulehnerMapper
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.generators import random_circuit
+
+
+class TestSabreInternals:
+    def test_route_returns_final_mapping(self):
+        mapper = SabreMapper(lnn(3))
+        circuit = Circuit(3).cx(0, 2)
+        routed, final = mapper._route(circuit, [0, 1, 2])
+        assert len(final) == 3
+        assert any(op[0] == "s" for op in routed)
+
+    def test_swap_count_grows_with_distance(self):
+        mapper = SabreMapper(lnn(6))
+        near = Circuit(6).cx(0, 1)
+        far = Circuit(6).cx(0, 5)
+        swaps = lambda c: sum(
+            1 for op in mapper._route(c, list(range(6)))[0] if op[0] == "s"
+        )
+        assert swaps(near) == 0
+        assert swaps(far) >= 4
+
+    def test_lookahead_prefers_future_friendly_swap(self):
+        # Front gate cx(0,3) on lnn-4 can be fixed by moving q0 right or
+        # q3 left; the extended set contains cx(1,3), making the move of
+        # q0 toward q3 (freeing q1 adjacency) the better-scoring choice
+        # overall.  We only assert the router completes with a small
+        # number of swaps — the score function's relative order is
+        # implementation detail, its effect is bounded swap count.
+        circuit = Circuit(4).cx(0, 3).cx(1, 3).cx(0, 1)
+        mapper = SabreMapper(lnn(4), uniform_latency(1, 3))
+        result = mapper.map(circuit, initial_mapping=[0, 1, 2, 3])
+        assert result.num_inserted_swaps <= 4
+
+    def test_decay_prevents_pingpong(self):
+        # A pathological frontier that a decay-free greedy could bounce
+        # on; the mapper must terminate (the stall guard would raise).
+        circuit = Circuit(6)
+        for _ in range(10):
+            circuit.cx(0, 5).cx(5, 0)
+        mapper = SabreMapper(lnn(6), uniform_latency(1, 3), seed=3)
+        result = mapper.map(circuit)
+        assert result.depth > 0
+
+
+class TestZulehnerInternals:
+    def test_solve_layer_empty_when_satisfied(self):
+        mapper = ZulehnerMapper(lnn(4))
+        assert mapper._solve_layer((0, 1, 2, 3), [(0, 1), (2, 3)], []) == []
+
+    def test_solve_layer_single_swap(self):
+        mapper = ZulehnerMapper(lnn(4))
+        swaps = mapper._solve_layer((0, 1, 2, 3), [(0, 2)], [])
+        assert len(swaps) == 1
+
+    def test_sequential_fallback_valid_on_regression_input(self):
+        """Regression: the layer that broke the old frozen-pair greedy
+        (pairs separated by later routing) must route validly through
+        the sequential fallback."""
+        from repro.verify import validate_result
+
+        circuit = random_circuit(16, 3000, two_qubit_fraction=0.6, seed=11)
+        mapper = ZulehnerMapper(ibm_tokyo(), max_nodes_per_layer=1)
+        result = mapper.map(circuit)
+        validate_result(result)
+
+    @settings(
+        deadline=None, max_examples=40,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(st.randoms(use_true_random=False))
+    def test_solve_layer_always_satisfies_pairs(self, rng):
+        """Property: any random layer on Tokyo ends fully adjacent."""
+        arch = ibm_tokyo()
+        mapper = ZulehnerMapper(arch, max_nodes_per_layer=200)
+        logicals = list(range(16))
+        physicals = list(range(20))
+        rng.shuffle(physicals)
+        pos = tuple(physicals[:16])
+        pool = logicals[:]
+        rng.shuffle(pool)
+        num_pairs = rng.randint(1, 6)
+        pairs = [
+            (pool[2 * i], pool[2 * i + 1]) for i in range(num_pairs)
+        ]
+        swaps = mapper._solve_layer(pos, pairs, [])
+        if swaps is None:
+            return  # budget exceeded: the caller's sequential path covers it
+        state = list(pos)
+        inv = {p: l for l, p in enumerate(state)}
+        for p, q in swaps:
+            lp, lq = inv.get(p, -1), inv.get(q, -1)
+            inv[p], inv[q] = lq, lp
+            if lp >= 0:
+                state[lp] = q
+            if lq >= 0:
+                state[lq] = p
+        for a, b in pairs:
+            assert arch.are_adjacent(state[a], state[b])
+
+    def test_lookahead_weight_changes_routing(self):
+        circuit = random_circuit(8, 60, two_qubit_fraction=0.8, seed=4)
+        arch = grid(2, 4)
+        without = ZulehnerMapper(arch, lookahead_weight=0.0).map(circuit)
+        with_la = ZulehnerMapper(arch, lookahead_weight=0.5).map(circuit)
+        # Both valid; look-ahead usually (not provably) helps, so we only
+        # assert both routes complete and report stats.
+        assert without.depth > 0 and with_la.depth > 0

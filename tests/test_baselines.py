@@ -1,0 +1,117 @@
+"""Tests for the SABRE, Zulehner, trivial and OLSQ-style baselines."""
+
+import pytest
+
+from repro.arch import grid, ibm_qx2, ibm_tokyo, lnn
+from repro.circuit import Circuit, IBM_LATENCY, OLSQ_LATENCY, uniform_latency
+from repro.circuit.generators import ghz_circuit, qft_skeleton, random_circuit
+from repro.baselines import (
+    OlsqStyleMapper,
+    SabreMapper,
+    TrivialMapper,
+    ZulehnerMapper,
+)
+from repro.core import OptimalMapper
+from repro.verify import validate_result
+
+
+class TestSabre:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_on_random_circuits(self, seed, tokyo):
+        circuit = random_circuit(10, 80, two_qubit_fraction=0.6, seed=seed)
+        result = SabreMapper(tokyo, IBM_LATENCY, seed=seed).map(circuit)
+        validate_result(result)
+
+    def test_no_swaps_when_compliant(self):
+        circuit = ghz_circuit(5)
+        result = SabreMapper(lnn(5)).map(circuit, initial_mapping=[0, 1, 2, 3, 4])
+        validate_result(result)
+        assert result.num_inserted_swaps == 0
+
+    def test_initial_mapping_refinement_runs(self, tokyo):
+        circuit = random_circuit(10, 60, two_qubit_fraction=0.7, seed=3)
+        refined = SabreMapper(tokyo, IBM_LATENCY, seed=0, passes=3).map(circuit)
+        validate_result(refined)
+
+    def test_deterministic_per_seed(self, tokyo):
+        circuit = random_circuit(8, 50, two_qubit_fraction=0.6, seed=7)
+        a = SabreMapper(tokyo, IBM_LATENCY, seed=5).map(circuit)
+        b = SabreMapper(tokyo, IBM_LATENCY, seed=5).map(circuit)
+        assert a.depth == b.depth
+        assert a.initial_mapping == b.initial_mapping
+
+    def test_qft_on_lnn(self):
+        circuit = qft_skeleton(5)
+        result = SabreMapper(lnn(5), uniform_latency(1, 3), seed=1).map(circuit)
+        validate_result(result)
+
+
+class TestZulehner:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_valid_on_random_circuits(self, seed, tokyo):
+        circuit = random_circuit(10, 80, two_qubit_fraction=0.6, seed=seed)
+        result = ZulehnerMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(result)
+
+    def test_full_width_stress(self, tokyo):
+        # Regression: frozen-pair greedy fallback must not separate
+        # already-satisfied pairs (20 logical on 20 physical).
+        circuit = random_circuit(16, 400, two_qubit_fraction=0.6, seed=11)
+        result = ZulehnerMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(result)
+
+    def test_layer_swaps_counted(self, tokyo):
+        circuit = random_circuit(10, 60, two_qubit_fraction=0.8, seed=2)
+        result = ZulehnerMapper(tokyo, IBM_LATENCY).map(circuit)
+        assert result.stats["layer_swaps"] == result.num_inserted_swaps
+
+    def test_compliant_circuit_untouched(self):
+        circuit = ghz_circuit(4)
+        result = ZulehnerMapper(lnn(4)).map(circuit)
+        validate_result(result)
+        assert result.num_inserted_swaps == 0
+
+    def test_small_budget_falls_back_to_greedy(self):
+        circuit = qft_skeleton(5)
+        mapper = ZulehnerMapper(lnn(5), uniform_latency(1, 3), max_nodes_per_layer=1)
+        result = mapper.map(circuit)
+        validate_result(result)
+
+
+class TestTrivial:
+    def test_valid_and_complete(self, tokyo):
+        circuit = random_circuit(10, 100, two_qubit_fraction=0.7, seed=0)
+        result = TrivialMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(result)
+
+    def test_distance_one_no_swaps(self):
+        result = TrivialMapper(lnn(3)).map(Circuit(3).cx(0, 1).cx(1, 2))
+        assert result.num_inserted_swaps == 0
+
+
+class TestOlsqStyle:
+    def test_matches_toqm_optimal_depth(self):
+        # The central Table 2 claim: identical optimal depths.
+        circuit = random_circuit(4, 8, two_qubit_fraction=0.8, seed=6)
+        latency = uniform_latency(1, 3)
+        arch = lnn(4)
+        ours = OptimalMapper(arch, latency).map(circuit, initial_mapping=[0, 1, 2, 3])
+        olsq = OlsqStyleMapper(arch, latency, search_initial_mapping=False).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        validate_result(olsq)
+        assert olsq.depth == ours.depth
+        assert olsq.optimal
+        assert olsq.stats["mapper"] == "olsq-style"
+
+    def test_explores_more_nodes_than_toqm(self, qx2):
+        circuit = random_circuit(5, 8, two_qubit_fraction=0.8, seed=9)
+        latency = OLSQ_LATENCY
+        ours = OptimalMapper(qx2, latency).map(circuit, initial_mapping=[0, 1, 2, 3, 4])
+        olsq = OlsqStyleMapper(qx2, latency, search_initial_mapping=False).map(
+            circuit, initial_mapping=[0, 1, 2, 3, 4]
+        )
+        assert olsq.depth == ours.depth
+        assert (
+            olsq.stats["nodes_expanded"] >= ours.stats["nodes_expanded"]
+        )

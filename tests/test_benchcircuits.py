@@ -1,0 +1,142 @@
+"""Tests for the benchmark suites (Tables 1–3 stand-ins)."""
+
+import pytest
+
+from repro.arch import by_name
+from repro.benchcircuits import (
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    benchmark_circuit,
+    benchmark_names,
+    large_circuit,
+    olsq_architecture,
+    olsq_circuit,
+    qft10_decomposed,
+    table1_row,
+    table2_rows,
+    table3_row,
+    wille_circuit,
+)
+from repro.circuit import OLSQ_LATENCY, TABLE1_LATENCY, TABLE3_LATENCY
+
+
+class TestTable1:
+    def test_row_count(self):
+        assert len(TABLE1) == 23
+
+    @pytest.mark.parametrize("row", TABLE1, ids=lambda r: r.name)
+    def test_published_invariants(self, row):
+        assert row.optimal_cycle >= row.ideal_cycle
+        assert row.num_qubits <= 5  # all run on QX2
+
+    @pytest.mark.parametrize("row", TABLE1[:8], ids=lambda r: r.name)
+    def test_regenerated_matches_published_shape(self, row):
+        circuit = wille_circuit(row.name)
+        assert circuit.num_qubits == row.num_qubits
+        assert len(circuit) == row.gate_count
+        ideal = circuit.depth(TABLE1_LATENCY)
+        assert abs(ideal - row.ideal_cycle) <= max(2, row.ideal_cycle // 10)
+
+    def test_qft4_exact(self):
+        circuit = wille_circuit("qft_4")
+        assert len(circuit) == 6
+        assert circuit.depth(TABLE1_LATENCY) == 10  # published ideal
+
+    def test_deterministic(self):
+        assert wille_circuit("miller_11") == wille_circuit("miller_11")
+
+    def test_row_lookup(self):
+        assert table1_row("3_17_13").gate_count == 36
+
+
+class TestTable2:
+    def test_row_count(self):
+        assert len(TABLE2) == 13
+
+    @pytest.mark.parametrize("row", TABLE2, ids=lambda r: f"{r.name}@{r.arch}")
+    def test_published_invariants(self, row):
+        assert row.olsq_cycle == row.toqm_cycle  # both exact solvers
+        assert row.toqm_cycle >= row.ideal_cycle
+        assert row.olsq_overhead_s > row.toqm_overhead_s  # TOQM faster
+
+    def test_published_speedup_range(self):
+        ratios = [r.olsq_overhead_s / r.toqm_overhead_s for r in TABLE2]
+        assert min(ratios) > 8  # "around 9 to 1500 times faster"
+        assert max(ratios) > 1000
+
+    @pytest.mark.parametrize(
+        "name", ["or", "adder", "qaoa5", "4gt13_92", "4mod5-v1_22", "mod5mils_65"]
+    )
+    def test_circuits_hit_published_ideal(self, name):
+        row = table2_rows(name)[0]
+        circuit = olsq_circuit(name)
+        assert circuit.num_qubits == row.num_qubits
+        assert abs(circuit.depth(OLSQ_LATENCY) - row.ideal_cycle) <= 1
+
+    def test_queko_rows_have_exact_ideal(self):
+        for name in ("queko_05_0", "queko_10_3", "queko_15_1"):
+            row = table2_rows(name)[0]
+            circuit = olsq_circuit(name)
+            assert circuit.depth() == row.ideal_cycle
+
+    def test_architectures_resolve(self):
+        for row in TABLE2:
+            arch = olsq_architecture(row)
+            assert arch.num_qubits >= row.num_qubits
+
+
+class TestTable3:
+    def test_row_count(self):
+        assert len(TABLE3) == 26
+
+    def test_published_speedups_match_abstract(self):
+        """Speedup over both baselines: 0.99x–1.36x, average 1.21x."""
+        speedups = []
+        for row in TABLE3:
+            speedups.append(row.speedup_vs_sabre)
+            speedups.append(row.speedup_vs_zulehner)
+        assert min(speedups) >= 0.98
+        assert max(speedups) <= 1.37
+        sabre_avg = sum(r.speedup_vs_sabre for r in TABLE3) / len(TABLE3)
+        zul_avg = sum(r.speedup_vs_zulehner for r in TABLE3) / len(TABLE3)
+        assert sabre_avg == pytest.approx(1.23, abs=0.03)
+        assert zul_avg == pytest.approx(1.18, abs=0.03)
+
+    def test_qft10_structure(self):
+        circuit = qft10_decomposed()
+        assert circuit.num_qubits == 10
+        assert len(circuit) == 190
+        assert abs(circuit.depth(TABLE3_LATENCY) - 97) <= 3
+
+    def test_scaling_cap(self):
+        scaled = large_circuit("urf2_277", scale_gate_cap=1000)
+        assert len(scaled) == 1000
+        small = large_circuit("cm82a_208", scale_gate_cap=1000)
+        assert len(small) == 650  # below the cap: published size
+
+    @pytest.mark.parametrize("name", ["cm82a_208", "z4_268", "cm42a_207"])
+    def test_calibration_close_to_published_ideal(self, name):
+        row = table3_row(name)
+        circuit = large_circuit(name, scale_gate_cap=None)
+        assert circuit.num_qubits == row.num_qubits
+        assert len(circuit) == row.gate_count
+        ideal = circuit.depth(TABLE3_LATENCY)
+        assert abs(ideal - row.ideal_cycle) / row.ideal_cycle < 0.05
+
+
+class TestRegistry:
+    def test_names_cover_all_tables(self):
+        names = benchmark_names()
+        assert "3_17_13" in names
+        assert "queko_15_1" in names
+        assert "mlp4_245" in names
+
+    def test_lookup_each_table(self):
+        assert benchmark_circuit("ham3_102").num_qubits == 3
+        assert benchmark_circuit("adder").num_qubits == 4
+        assert benchmark_circuit("cm82a_208").num_qubits == 8
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_circuit("nope")

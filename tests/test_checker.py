@@ -1,0 +1,152 @@
+"""Unit tests for the independent schedule verifier.
+
+Each test corrupts a known-good schedule in one specific way and asserts
+the checker catches exactly that violation class.
+"""
+
+import pytest
+
+from repro.arch import lnn
+from repro.circuit import Circuit, uniform_latency
+from repro.core.result import MappingResult, ScheduledOp
+from repro.verify import VerificationError, is_valid, validate_result
+
+
+def good_result():
+    """cx(q0,q2) on lnn-3: swap Q1,Q2 then run the gate on Q0,Q1."""
+    circuit = Circuit(3, name="good").cx(0, 2).h(2)
+    ops = [
+        ScheduledOp(None, "swap", (1, 2), (1, 2), 0, 3),
+        ScheduledOp(0, "cx", (0, 2), (0, 1), 3, 1),
+        ScheduledOp(1, "h", (2,), (1,), 4, 1),
+    ]
+    return MappingResult(
+        circuit=circuit,
+        coupling=lnn(3),
+        latency=uniform_latency(1, 3),
+        initial_mapping=(0, 1, 2),
+        ops=ops,
+        depth=5,
+    )
+
+
+def replace_op(result, index, **changes):
+    op = result.ops[index]
+    fields = dict(
+        gate_index=op.gate_index,
+        name=op.name,
+        logical_qubits=op.logical_qubits,
+        physical_qubits=op.physical_qubits,
+        start=op.start,
+        duration=op.duration,
+    )
+    fields.update(changes)
+    result.ops[index] = ScheduledOp(**fields)
+    return result
+
+
+class TestAccepts:
+    def test_good_schedule_passes(self):
+        validate_result(good_result())
+        assert is_valid(good_result())
+
+
+class TestRejects:
+    def test_non_injective_initial_mapping(self):
+        result = good_result()
+        result.initial_mapping = (0, 0, 2)
+        with pytest.raises(VerificationError, match="injective"):
+            validate_result(result)
+
+    def test_initial_mapping_wrong_length(self):
+        result = good_result()
+        result.initial_mapping = (0, 1)
+        with pytest.raises(VerificationError, match="covers"):
+            validate_result(result)
+
+    def test_non_adjacent_gate(self):
+        result = replace_op(good_result(), 1, physical_qubits=(0, 2))
+        with pytest.raises(VerificationError, match="non-adjacent"):
+            validate_result(result)
+
+    def test_overlapping_ops_on_same_qubit(self):
+        result = replace_op(good_result(), 1, start=1)
+        with pytest.raises(VerificationError, match="busy"):
+            validate_result(result)
+
+    def test_wrong_logical_position(self):
+        # Run the gate before the swap takes effect but on free qubits:
+        # claim q2 is at Q1 at cycle 0 (it is at Q2).
+        result = good_result()
+        result.ops.pop(0)  # drop the swap
+        with pytest.raises(VerificationError, match="holding logicals"):
+            validate_result(result)
+
+    def test_gate_scheduled_twice(self):
+        result = good_result()
+        result.ops.append(
+            ScheduledOp(0, "cx", (0, 2), (0, 1), 10, 1)
+        )
+        with pytest.raises(VerificationError, match="twice"):
+            validate_result(result)
+
+    def test_missing_gate(self):
+        result = good_result()
+        result.ops.pop()  # drop h(q2)
+        with pytest.raises(VerificationError, match="never scheduled"):
+            validate_result(result)
+
+    def test_dependency_violation(self):
+        # h(q2) depends on cx; start it during the cx.
+        result = replace_op(good_result(), 2, start=3)
+        with pytest.raises(VerificationError, match="busy|predecessor"):
+            validate_result(result)
+
+    def test_wrong_duration(self):
+        result = replace_op(good_result(), 1, duration=2)
+        with pytest.raises(VerificationError, match="duration|depth"):
+            validate_result(result)
+
+    def test_wrong_reported_depth(self):
+        result = good_result()
+        result.depth = 7
+        with pytest.raises(VerificationError, match="depth"):
+            validate_result(result)
+
+    def test_inserted_op_must_be_swap(self):
+        result = replace_op(good_result(), 0, name="cx")
+        with pytest.raises(VerificationError, match="SWAP"):
+            validate_result(result)
+
+    def test_wrong_gate_name(self):
+        result = replace_op(good_result(), 1, name="cz")
+        with pytest.raises(VerificationError, match="name"):
+            validate_result(result)
+
+
+class TestResultHelpers:
+    def test_final_mapping(self):
+        result = good_result()
+        assert result.final_mapping() == (0, 2, 1)
+
+    def test_to_physical_circuit(self):
+        physical = good_result().to_physical_circuit()
+        assert [g.name for g in physical] == ["swap", "cx", "h"]
+        assert physical[1].qubits == (0, 1)
+
+    def test_describe_contains_key_facts(self):
+        text = good_result().describe()
+        assert "depth" in text and "swaps" in text and "q0->Q0" in text
+
+    def test_num_inserted_swaps(self):
+        assert good_result().num_inserted_swaps == 1
+
+    def test_ideal_depth(self):
+        assert good_result().ideal_depth == 2
+
+
+class TestSwapDuration:
+    def test_wrong_swap_duration_rejected(self):
+        result = replace_op(good_result(), 0, duration=2)
+        with pytest.raises(VerificationError, match="SWAP has duration|busy|depth"):
+            validate_result(result)

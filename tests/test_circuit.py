@@ -1,0 +1,100 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.circuit import Circuit, IBM_LATENCY, uniform_latency
+from repro.circuit.gate import two
+
+
+class TestConstruction:
+    def test_builder_chaining(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2).t(2)
+        assert len(circuit) == 4
+        assert circuit[0].name == "h"
+        assert circuit[3].qubits == (2,)
+
+    def test_rejects_out_of_range_qubits(self):
+        with pytest.raises(ValueError):
+            Circuit(2).cx(0, 2)
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_equality(self):
+        a = Circuit(2).cx(0, 1)
+        b = Circuit(2).cx(0, 1)
+        assert a == b
+        assert a != Circuit(2).cx(1, 0)
+
+
+class TestIntrospection:
+    def test_count_ops(self):
+        circuit = Circuit(3).h(0).h(1).cx(0, 1).cx(1, 2)
+        assert circuit.count_ops() == {"h": 2, "cx": 2}
+
+    def test_two_qubit_gates(self):
+        circuit = Circuit(3).h(0).cx(0, 1).swap(1, 2)
+        assert circuit.num_two_qubit_gates == 2
+        assert [g.name for g in circuit.two_qubit_gates()] == ["cx", "swap"]
+
+    def test_used_qubits_skips_idle(self):
+        circuit = Circuit(5).cx(0, 3)
+        assert circuit.used_qubits() == [0, 3]
+
+    def test_interaction_graph_dedupes(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 0).cx(1, 2)
+        assert circuit.interaction_graph() == [(0, 1), (1, 2)]
+
+
+class TestDepth:
+    def test_unit_depth_serial_chain(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(1)
+        assert circuit.depth() == 3
+
+    def test_unit_depth_parallel(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3)
+        assert circuit.depth() == 1
+
+    def test_weighted_depth(self):
+        # h(1) then cx(2): critical path through qubit 0 = 1 + 2.
+        circuit = Circuit(2).h(0).cx(0, 1)
+        assert circuit.depth(IBM_LATENCY) == 3
+
+    def test_empty_circuit_depth_zero(self):
+        assert Circuit(3).depth() == 0
+
+    def test_parallel_layers(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        layers = circuit.parallel_layers()
+        assert layers == [[0, 1], [2]]
+
+
+class TestTransforms:
+    def test_without_single_qubit_gates(self):
+        circuit = Circuit(3).h(0).cx(0, 1).t(1).cx(1, 2)
+        skeleton = circuit.without_single_qubit_gates()
+        assert len(skeleton) == 2
+        assert all(g.is_two_qubit for g in skeleton)
+
+    def test_reversed(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        rev = circuit.reversed()
+        assert rev[0].name == "cx"
+        assert rev[1].name == "h"
+
+    def test_relabeled(self):
+        circuit = Circuit(3).cx(0, 2)
+        relabeled = circuit.relabeled([2, 1, 0])
+        assert relabeled[0].qubits == (2, 0)
+
+    def test_relabeled_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Circuit(3).relabeled([0, 0, 1])
+
+    def test_copy_is_independent(self):
+        circuit = Circuit(2).h(0)
+        clone = circuit.copy()
+        clone.append(two("cx", 0, 1))
+        assert len(circuit) == 1
+        assert len(clone) == 2

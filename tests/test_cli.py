@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestMapCommand:
+    def test_map_qft_on_lnn(self, capsys):
+        code = main(
+            ["map", "--circuit", "qft:4", "--arch", "lnn-4",
+             "--latency", "qft"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "depth" in out
+        assert "optimal" in out
+
+    def test_map_heuristic_on_tokyo(self, capsys):
+        code = main(
+            ["map", "--circuit", "random:6:30:1", "--arch", "tokyo",
+             "--mapper", "heuristic", "--latency", "ibm"]
+        )
+        assert code == 0
+        assert "heuristic" in capsys.readouterr().out
+
+    def test_map_benchmark_circuit(self, capsys):
+        code = main(
+            ["map", "--circuit", "bench:or", "--arch", "ibmqx2",
+             "--mapper", "optimal", "--latency", "olsq",
+             "--search-initial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "depth    : 8" in out  # Table 2: or == ideal == 8
+
+    def test_timeline_flag(self, capsys):
+        code = main(
+            ["map", "--circuit", "qft:4", "--arch", "lnn-4",
+             "--latency", "qft", "--timeline"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Q0" in out and ("-G-" in out or "=S=" in out)
+
+    def test_qasm_roundtrip_via_file(self, tmp_path, capsys):
+        source = tmp_path / "in.qasm"
+        source.write_text(
+            'OPENQASM 2.0; include "qelib1.inc";\n'
+            "qreg q[3]; h q[0]; cx q[0],q[2];\n"
+        )
+        out_path = tmp_path / "out.qasm"
+        code = main(
+            ["map", "--circuit", str(source), "--arch", "lnn-3",
+             "--qasm-out", str(out_path)]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert "OPENQASM 2.0;" in text
+        assert "swap" in text  # q0,q2 need one
+
+    def test_sabre_and_trivial_mappers(self, capsys):
+        for mapper in ("sabre", "zulehner", "trivial"):
+            code = main(
+                ["map", "--circuit", "random:5:20:2", "--arch", "grid2by3",
+                 "--mapper", mapper]
+            )
+            assert code == 0
+
+
+class TestListingCommands:
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "qft_10" in out and "adder" in out
+
+    def test_archs_listing(self, capsys):
+        assert main(["archs"]) == 0
+        out = capsys.readouterr().out
+        assert "ibmqx2" in out and "tokyo" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

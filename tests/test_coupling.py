@@ -1,0 +1,81 @@
+"""Unit tests for coupling graphs and the swap-free embedding fast path."""
+
+import pytest
+
+from repro.arch import CouplingGraph, find_swap_free_mapping, grid, ibm_qx2, lnn
+
+
+class TestConstruction:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(2, [(0, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(2, [(0, 2)])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            CouplingGraph(4, [(0, 1), (2, 3)])
+
+    def test_edges_deduplicated_and_normalized(self):
+        g = CouplingGraph(3, [(1, 0), (0, 1), (1, 2)])
+        assert g.edges == ((0, 1), (1, 2))
+
+
+class TestQueries:
+    def test_adjacency_symmetric(self, qx2):
+        assert qx2.are_adjacent(3, 4)
+        assert qx2.are_adjacent(4, 3)
+        assert not qx2.are_adjacent(0, 3)
+
+    def test_neighbors(self, qx2):
+        assert qx2.neighbors(2) == (0, 1, 3, 4)
+
+    def test_lnn_distance(self):
+        g = lnn(6)
+        assert g.distance(0, 5) == 5
+        assert g.distance(2, 2) == 0
+        assert g.diameter == 5
+
+    def test_grid_distance_manhattan(self):
+        g = grid(2, 4)
+        # column-major indexing: Q(row, col) = 2*col + row
+        assert g.distance(0, 7) == 4  # (0,0) -> (1,3)
+        assert g.distance(1, 6) == 4  # (1,0) -> (0,3)
+
+    def test_longest_simple_path_exact_on_small(self):
+        assert lnn(5).longest_simple_path_bound() == 4
+        # 2x3 grid contains a Hamiltonian path of 5 edges.
+        assert grid(2, 3).longest_simple_path_bound() == 5
+
+    def test_longest_simple_path_fallback_on_large(self, tokyo):
+        assert tokyo.longest_simple_path_bound() == 19
+
+    def test_to_networkx(self, qx2):
+        g = qx2.to_networkx()
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 6
+
+
+class TestSwapFreeMapping:
+    def test_embeds_path_into_grid(self):
+        mapping = find_swap_free_mapping([(0, 1), (1, 2), (2, 3)], grid(2, 2), 4)
+        assert mapping is not None
+        g = grid(2, 2)
+        for a, b in [(0, 1), (1, 2), (2, 3)]:
+            assert g.are_adjacent(mapping[a], mapping[b])
+
+    def test_star_does_not_embed_into_lnn(self):
+        # A degree-3 star cannot embed into a path.
+        star = [(0, 1), (0, 2), (0, 3)]
+        assert find_swap_free_mapping(star, lnn(4), 4) is None
+
+    def test_all_logicals_assigned_even_isolated(self):
+        mapping = find_swap_free_mapping([(0, 1)], lnn(5), 4)
+        assert mapping is not None
+        assert sorted(mapping) == [0, 1, 2, 3]
+        assert len(set(mapping.values())) == 4
+
+    def test_too_many_logicals(self):
+        assert find_swap_free_mapping([], lnn(2), 3) is None

@@ -1,0 +1,66 @@
+"""Unit tests for the per-qubit dependency DAG."""
+
+from repro.circuit import Circuit
+from repro.circuit.dag import DependencyGraph
+
+
+def chain_circuit():
+    return Circuit(3).h(0).cx(0, 1).cx(1, 2).h(2)
+
+
+class TestPredecessors:
+    def test_first_gates_have_no_preds(self):
+        dag = DependencyGraph(chain_circuit())
+        assert dag.preds[0] == ()
+
+    def test_chain_preds(self):
+        dag = DependencyGraph(chain_circuit())
+        assert dag.preds[1] == (0,)
+        assert dag.preds[2] == (1,)
+        assert dag.preds[3] == (2,)
+
+    def test_two_qubit_gate_merges_preds(self):
+        circuit = Circuit(3).h(0).h(1).cx(0, 1)
+        dag = DependencyGraph(circuit)
+        assert set(dag.preds[2]) == {0, 1}
+
+    def test_duplicate_pred_deduplicated(self):
+        # cx(0,1) followed by cx(0,1): the second depends on the first via
+        # both qubits, but it should appear once.
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        dag = DependencyGraph(circuit)
+        assert dag.preds[1] == (0,)
+
+    def test_succs_inverse_of_preds(self):
+        dag = DependencyGraph(chain_circuit())
+        for gate, preds in enumerate(dag.preds):
+            for pred in preds:
+                assert gate in dag.succs[pred]
+
+
+class TestStructure:
+    def test_qubit_gates_in_program_order(self):
+        dag = DependencyGraph(chain_circuit())
+        assert dag.qubit_gates[1] == [1, 2]
+
+    def test_pred_on_qubit(self):
+        dag = DependencyGraph(chain_circuit())
+        assert dag.pred_on_qubit(2, 1) == 1
+        assert dag.pred_on_qubit(1, 0) == 0
+        assert dag.pred_on_qubit(0, 0) is None
+
+    def test_roots(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        dag = DependencyGraph(circuit)
+        assert dag.roots() == [0, 1]
+
+    def test_critical_path_matches_depth(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3).cx(1, 2).h(0)
+        dag = DependencyGraph(circuit)
+        latencies = [1] * len(circuit)
+        assert dag.critical_path_length(latencies) == circuit.depth()
+
+    def test_weighted_critical_path(self):
+        circuit = Circuit(2).cx(0, 1).cx(0, 1)
+        dag = DependencyGraph(circuit)
+        assert dag.critical_path_length([2, 2]) == 4

@@ -1,0 +1,111 @@
+"""Tests for gate decomposition and the mapper-comparison utility."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_mappers
+from repro.arch import grid, lnn
+from repro.baselines import SabreMapper, TrivialMapper
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.decompose import (
+    decompose_cu1,
+    decompose_cz,
+    decompose_swaps,
+    decompose_to_basis,
+    swap_cx_overhead,
+)
+from repro.circuit.generators import qft_full, random_circuit
+from repro.core import HeuristicMapper, OptimalMapper
+from repro.verify.simulator import simulate
+
+
+class TestDecompositions:
+    def test_swap_becomes_three_cx(self):
+        circuit = Circuit(2).swap(0, 1)
+        lowered = decompose_swaps(circuit)
+        assert [g.name for g in lowered] == ["cx", "cx", "cx"]
+        assert np.allclose(simulate(Circuit(2).x(0)), simulate(Circuit(2).x(0)))
+
+    def test_swap_semantics_preserved(self):
+        circuit = Circuit(3).h(0).cx(0, 1).swap(1, 2).cx(0, 1)
+        lowered = decompose_swaps(circuit)
+        assert np.allclose(simulate(circuit), simulate(lowered))
+
+    def test_cu1_semantics_preserved(self):
+        circuit = Circuit(2).h(0).h(1).add(
+            "cu1", 0, 1, params=(math.pi / 3,)
+        )
+        lowered = decompose_cu1(circuit)
+        assert "cu1" not in lowered.count_ops()
+        assert np.allclose(simulate(circuit), simulate(lowered))
+
+    def test_cz_and_gt_semantics_preserved(self):
+        circuit = Circuit(2).h(0).h(1).cz(0, 1).gt(0, 1)
+        lowered = decompose_cz(circuit)
+        assert set(lowered.count_ops()) == {"h", "cx"}
+        assert np.allclose(simulate(circuit), simulate(lowered))
+
+    def test_full_qft_lowering(self):
+        circuit = qft_full(4)
+        lowered = decompose_to_basis(circuit)
+        assert set(lowered.count_ops()) <= {"h", "cx", "u1"}
+        assert np.allclose(simulate(circuit), simulate(lowered))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_to_basis(Circuit(2).add("ccx-ish", 0, 1))
+
+    def test_swap_overhead_counter(self):
+        circuit = Circuit(3).swap(0, 1).swap(1, 2).h(0)
+        assert swap_cx_overhead(circuit) == 4
+        assert len(decompose_swaps(circuit)) == len(circuit) + 4
+
+    def test_qft10_gate_count_via_decomposition(self):
+        # Table 3's qft_10 row: full QFT lowered to CX/U1 basis.
+        lowered = decompose_to_basis(decompose_cu1(qft_full(10)))
+        counts = lowered.count_ops()
+        assert counts["cx"] == 2 * 45
+        assert counts["h"] == 10
+
+
+class TestCompareMappers:
+    def test_report_structure(self):
+        circuit = random_circuit(5, 40, two_qubit_fraction=0.6, seed=3)
+        arch = grid(2, 3)
+        latency = uniform_latency(1, 3)
+        report = compare_mappers(
+            circuit,
+            arch,
+            [
+                ("toqm", HeuristicMapper(arch, latency)),
+                ("sabre", SabreMapper(arch, latency, seed=0)),
+                ("trivial", TrivialMapper(arch, latency)),
+            ],
+            latency=latency,
+        )
+        assert len(report.entries) == 3
+        assert report.best().depth == min(e.depth for e in report.entries)
+        assert report.best().label != "trivial"
+        speedups = report.speedups("toqm")
+        assert speedups["toqm"] == 1.0
+        table = report.to_table()
+        assert "mapper" in table and "trivial" in table
+
+    def test_fidelity_tracks_depth(self):
+        circuit = random_circuit(4, 30, two_qubit_fraction=0.7, seed=9)
+        arch = lnn(4)
+        latency = uniform_latency(1, 3)
+        report = compare_mappers(
+            circuit,
+            arch,
+            [
+                ("optimal", OptimalMapper(arch, latency)),
+                ("trivial", TrivialMapper(arch, latency)),
+            ],
+            latency=latency,
+        )
+        by_label = {e.label: e for e in report.entries}
+        assert by_label["optimal"].depth <= by_label["trivial"].depth
+        assert by_label["optimal"].fidelity >= by_label["trivial"].fidelity

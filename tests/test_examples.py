@@ -1,0 +1,39 @@
+"""Smoke tests keeping the example scripts in sync with the library."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(monkeypatch, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    return runpy.run_path(f"examples/{name}.py", run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example(monkeypatch, "quickstart")
+        out = capsys.readouterr().out
+        assert "depth" in out
+        assert "OPENQASM 2.0;" in out
+
+    def test_initial_mapping_search(self, monkeypatch, capsys):
+        run_example(monkeypatch, "initial_mapping_search")
+        out = capsys.readouterr().out
+        assert "mode 2" in out
+        assert "cycles saved" in out
+
+    @pytest.mark.slow
+    def test_qft_patterns(self, monkeypatch, capsys):
+        run_example(monkeypatch, "qft_patterns")
+        out = capsys.readouterr().out
+        assert "All checkpoints reproduced." in out
+
+    def test_large_circuit_mapping_scaled(self, monkeypatch, capsys):
+        run_example(
+            monkeypatch, "large_circuit_mapping", argv=["qft_10", "200"]
+        )
+        out = capsys.readouterr().out
+        assert "Speedup vs SABRE" in out
+        assert "TOQM (practical)" in out

@@ -1,0 +1,70 @@
+"""Tests for the decoherence/fidelity model (the paper's §1 motivation)."""
+
+import pytest
+
+from repro.analysis import NoiseModel, estimate_fidelity, fidelity_gain
+from repro.arch import lnn
+from repro.baselines import TrivialMapper
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.generators import qft_skeleton
+from repro.core import OptimalMapper
+
+
+def schedules():
+    circuit = qft_skeleton(5)
+    latency = uniform_latency(1, 3)
+    optimal = OptimalMapper(lnn(5), latency).map(
+        circuit, initial_mapping=list(range(5))
+    )
+    trivial = TrivialMapper(lnn(5), latency).map(circuit)
+    return optimal, trivial
+
+
+class TestEstimate:
+    def test_in_unit_interval(self):
+        optimal, trivial = schedules()
+        for result in (optimal, trivial):
+            assert 0 < estimate_fidelity(result) <= 1
+
+    def test_time_optimal_schedule_more_reliable(self):
+        """The paper's claim: lower depth ⇒ less decoherence ⇒ higher
+        fidelity (here the optimal schedule also inserts fewer SWAPs)."""
+        optimal, trivial = schedules()
+        assert optimal.depth < trivial.depth
+        assert estimate_fidelity(optimal) > estimate_fidelity(trivial)
+        assert fidelity_gain(optimal, trivial) > 0
+
+    def test_empty_schedule_is_perfect(self):
+        result = OptimalMapper(lnn(2)).map(Circuit(2), initial_mapping=[0, 1])
+        assert estimate_fidelity(result) == pytest.approx(1.0)
+
+    def test_shorter_coherence_punishes_depth_more(self):
+        optimal, trivial = schedules()
+        harsh = NoiseModel(coherence_cycles=100)
+        mild = NoiseModel(coherence_cycles=100000)
+        assert fidelity_gain(optimal, trivial, harsh) > fidelity_gain(
+            optimal, trivial, mild
+        )
+
+    def test_swap_costs_three_cnots(self):
+        # One inserted swap should cost ~(1-e2)^3 in gate factor.
+        circuit = Circuit(3).cx(0, 2)
+        latency = uniform_latency(1, 3)
+        result = OptimalMapper(lnn(3), latency).map(
+            circuit, initial_mapping=[0, 1, 2]
+        )
+        assert result.num_inserted_swaps == 1
+        noise = NoiseModel(coherence_cycles=10 ** 9)  # isolate gate factor
+        fidelity = estimate_fidelity(result, noise)
+        expected = (1 - noise.two_qubit_error) ** 3 * (
+            1 - noise.two_qubit_error
+        )
+        assert fidelity == pytest.approx(expected, rel=1e-6)
+
+    def test_gain_requires_same_circuit(self):
+        optimal, _ = schedules()
+        other = OptimalMapper(lnn(2)).map(
+            Circuit(2).cx(0, 1), initial_mapping=[0, 1]
+        )
+        with pytest.raises(ValueError):
+            fidelity_gain(optimal, other)

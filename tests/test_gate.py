@@ -1,0 +1,58 @@
+"""Unit tests for the gate primitives."""
+
+import pytest
+
+from repro.circuit.gate import Gate, single, swap, two
+
+
+class TestGateConstruction:
+    def test_single_qubit_gate(self):
+        gate = single("h", 2)
+        assert gate.name == "h"
+        assert gate.qubits == (2,)
+        assert gate.num_qubits == 1
+        assert not gate.is_two_qubit
+        assert not gate.is_swap
+
+    def test_two_qubit_gate(self):
+        gate = two("cx", 0, 3)
+        assert gate.qubits == (0, 3)
+        assert gate.is_two_qubit
+        assert not gate.is_swap
+
+    def test_swap_constructor(self):
+        gate = swap(1, 2)
+        assert gate.is_swap
+        assert gate.is_two_qubit
+
+    def test_params_preserved(self):
+        gate = single("rz", 0, 1.5)
+        assert gate.params == (1.5,)
+
+    def test_rejects_empty_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("h", ())
+
+    def test_rejects_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_rejects_three_qubit_gates(self):
+        with pytest.raises(ValueError):
+            Gate("ccx", (0, 1, 2))
+
+
+class TestGateBehavior:
+    def test_gates_are_hashable_and_equal_by_value(self):
+        assert two("cx", 0, 1) == two("cx", 0, 1)
+        assert hash(two("cx", 0, 1)) == hash(two("cx", 0, 1))
+        assert two("cx", 0, 1) != two("cx", 1, 0)
+
+    def test_on_remaps_qubits(self):
+        gate = two("cx", 0, 1).on(4, 5)
+        assert gate.qubits == (4, 5)
+        assert gate.name == "cx"
+
+    def test_str_forms(self):
+        assert str(two("cx", 0, 1)) == "cx q0, q1"
+        assert "rz(0.5)" in str(single("rz", 3, 0.5))

@@ -1,0 +1,118 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.arch import grid, rigetti_aspen4
+from repro.circuit.generators import (
+    ghz_circuit,
+    linear_entangler,
+    qft_full,
+    qft_skeleton,
+    queko_circuit,
+    random_circuit,
+)
+
+
+class TestQftSkeleton:
+    @pytest.mark.parametrize("n", [2, 3, 6, 10])
+    def test_gate_count_is_n_choose_2(self, n):
+        circuit = qft_skeleton(n)
+        assert len(circuit) == n * (n - 1) // 2
+
+    def test_every_pair_exactly_once(self):
+        circuit = qft_skeleton(6)
+        pairs = {tuple(sorted(g.qubits)) for g in circuit}
+        assert len(pairs) == 15
+
+    def test_layered_depth_is_2n_minus_3(self):
+        # Fig. 10: the parallel-layer form runs in 2n-3 layers on an
+        # all-to-all architecture.
+        for n in (4, 6, 8):
+            assert qft_skeleton(n, layered=True).depth() == 2 * n - 3
+
+    def test_sequential_form_same_gate_set(self):
+        layered = qft_skeleton(6, layered=True)
+        seq = qft_skeleton(6, layered=False)
+        pairs = lambda c: sorted(tuple(sorted(g.qubits)) for g in c)
+        assert pairs(layered) == pairs(seq)
+
+    def test_sequential_form_has_same_dag_depth(self):
+        # Both orderings induce the same per-qubit chains (each qubit sees
+        # its partners in ascending subscript-sum order), so the ASAP depth
+        # is 2n-3 either way; only the textual order differs.
+        assert qft_skeleton(6, layered=False).depth() == qft_skeleton(6).depth()
+
+    def test_rejects_single_qubit(self):
+        with pytest.raises(ValueError):
+            qft_skeleton(1)
+
+
+class TestQftFull:
+    def test_structure(self):
+        circuit = qft_full(4)
+        counts = circuit.count_ops()
+        assert counts["h"] == 4
+        assert counts["cu1"] == 6
+
+
+class TestSmallGenerators:
+    def test_ghz(self):
+        circuit = ghz_circuit(5)
+        assert len(circuit) == 5
+        assert circuit.depth() == 5
+
+    def test_linear_entangler_depth(self):
+        circuit = linear_entangler(6, rounds=2)
+        assert circuit.depth() == 4
+
+
+class TestRandomCircuit:
+    def test_deterministic_per_seed(self):
+        a = random_circuit(5, 50, seed=7)
+        b = random_circuit(5, 50, seed=7)
+        assert a == b
+        assert a != random_circuit(5, 50, seed=8)
+
+    def test_gate_count(self):
+        assert len(random_circuit(5, 123, seed=0)) == 123
+
+    def test_two_qubit_fraction_extremes(self):
+        all_2q = random_circuit(4, 40, two_qubit_fraction=1.0, seed=1)
+        assert all(g.is_two_qubit for g in all_2q)
+        no_2q = random_circuit(4, 40, two_qubit_fraction=0.0, seed=1)
+        assert not any(g.is_two_qubit for g in no_2q)
+
+    def test_locality_reuses_pairs(self):
+        local = random_circuit(10, 300, two_qubit_fraction=1.0, seed=2, locality=0.95)
+        spread = random_circuit(10, 300, two_qubit_fraction=1.0, seed=2, locality=0.0)
+        assert len(local.interaction_graph()) < len(spread.interaction_graph())
+
+
+class TestQueko:
+    @pytest.mark.parametrize("depth", [1, 5, 10, 15])
+    def test_known_optimal_depth(self, depth):
+        circuit = queko_circuit(rigetti_aspen4(), depth=depth, seed=3)
+        assert circuit.depth() == depth
+
+    def test_unscrambled_runs_on_hardware_directly(self):
+        arch = grid(2, 3)
+        circuit = queko_circuit(arch, depth=6, seed=1, scramble=False)
+        for gate in circuit.two_qubit_gates():
+            assert arch.are_adjacent(*gate.qubits)
+
+    def test_scrambling_breaks_direct_execution(self):
+        arch = rigetti_aspen4()
+        circuit = queko_circuit(arch, depth=8, seed=5, scramble=True)
+        violations = sum(
+            0 if arch.are_adjacent(*g.qubits) else 1
+            for g in circuit.two_qubit_gates()
+        )
+        assert violations > 0
+
+    def test_deterministic(self):
+        arch = rigetti_aspen4()
+        assert queko_circuit(arch, 5, seed=0) == queko_circuit(arch, 5, seed=0)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(ValueError):
+            queko_circuit(rigetti_aspen4(), depth=0)

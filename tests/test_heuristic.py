@@ -1,0 +1,174 @@
+"""Unit tests for the admissible heuristic h(v), including the paper's
+worked example (Fig. 8) and the meet-in-the-middle fallacy (Fig. 9)."""
+
+import pytest
+
+from repro.arch import lnn
+from repro.circuit import Circuit, uniform_latency
+from repro.core.heuristic import heuristic_cost
+from repro.core.problem import MappingProblem
+from repro.core.state import K_GATE, K_SWAP, SearchNode
+
+
+def make_node(problem, time=0, mapping=None, ptr=None, inflight=(), started=0):
+    """Build a SearchNode directly for white-box heuristic tests."""
+    if mapping is None:
+        mapping = tuple(range(problem.num_logical))
+    inv = [-1] * problem.num_physical
+    for logical, physical in enumerate(mapping):
+        inv[physical] = logical
+    return SearchNode(
+        time=time,
+        pos=tuple(mapping),
+        inv=tuple(inv),
+        ptr=tuple(ptr if ptr is not None else [0] * problem.num_logical),
+        started=started,
+        inflight=tuple(inflight),
+        last_swaps=frozenset(),
+        prev_startable=frozenset(),
+        parent=None,
+        actions=(),
+    )
+
+
+class TestBasics:
+    def test_empty_circuit_zero(self):
+        problem = MappingProblem(Circuit(2), lnn(2))
+        assert heuristic_cost(problem, make_node(problem)) == 0
+
+    def test_single_adjacent_gate(self):
+        problem = MappingProblem(Circuit(2).cx(0, 1), lnn(2))
+        assert heuristic_cost(problem, make_node(problem)) == 1
+
+    def test_serial_chain_equals_critical_path(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        problem = MappingProblem(circuit, lnn(3))
+        assert heuristic_cost(problem, make_node(problem)) == 3
+
+    def test_distance_forces_swap_lower_bound(self):
+        # cx(q0, q2) on lnn-3 with unit swap: at least 1 swap + 1 gate.
+        problem = MappingProblem(
+            Circuit(3).cx(0, 2), lnn(3), uniform_latency(1, 3)
+        )
+        assert heuristic_cost(problem, make_node(problem)) == 4
+
+    def test_inflight_gate_contributes_remaining_time(self):
+        circuit = Circuit(2).cx(0, 1)
+        problem = MappingProblem(circuit, lnn(2), uniform_latency(2, 3))
+        node = make_node(
+            problem,
+            time=1,
+            ptr=[1, 1],
+            started=1,
+            inflight=((2, K_GATE, 0, 0),),  # finishes at cycle 2
+        )
+        assert heuristic_cost(problem, node) == 1
+
+    def test_inflight_swap_effect_applied_to_mapping(self):
+        # cx(q0, q2) on lnn-3; a swap Q1<->Q2 is in flight, so q2 will be
+        # adjacent to q0 once it lands: h = remaining-swap + gate.
+        circuit = Circuit(3).cx(0, 2)
+        problem = MappingProblem(circuit, lnn(3), uniform_latency(1, 3))
+        node = make_node(
+            problem, time=2, inflight=((3, K_SWAP, 1, 2),)
+        )
+        assert heuristic_cost(problem, node) == 2
+
+    def test_uninformed_mode_ignores_distance(self):
+        problem = MappingProblem(
+            Circuit(3).cx(0, 2), lnn(3), uniform_latency(1, 3)
+        )
+        node = make_node(problem)
+        assert heuristic_cost(problem, node, swap_aware=False) == 1
+
+    def test_window_truncation_is_lower_bound(self):
+        circuit = Circuit(3)
+        for _ in range(20):
+            circuit.cx(0, 1)
+        problem = MappingProblem(circuit, lnn(3))
+        node = make_node(problem)
+        full = heuristic_cost(problem, node)
+        windowed = heuristic_cost(problem, node, window=3)
+        assert windowed <= full
+        assert windowed >= 3
+
+
+class TestFig8Example:
+    """The cost-calculation walkthrough of Fig. 8 (search node F).
+
+    Circuit (1-indexed in the paper, 0-indexed here): g1, g2 single-qubit
+    on q1; g3, g4 single-qubit on q2; g5 = GT(q2, q5); g6 = GT(q1, q2).
+    Gates take 1 cycle, SWAPs 3.  At node F (cycle 1) g1 has completed and
+    SWAP(Q4, Q5) is in flight with 2 cycles left.  The paper derives
+    t_min(g5) = 5, t_min(g6) = 6, so h = 7 and f = 1 + 7 = 8.
+    """
+
+    def build(self):
+        circuit = Circuit(5)
+        circuit.h(0)          # g1 on q1
+        circuit.h(0)          # g2 on q1
+        circuit.h(1)          # g3 on q2
+        circuit.h(1)          # g4 on q2
+        circuit.gt(1, 4)      # g5 = GT(q2, q5)
+        circuit.gt(0, 1)      # g6 = GT(q1, q2)
+        return MappingProblem(circuit, lnn(5), uniform_latency(1, 3))
+
+    def test_node_f_cost_is_8(self):
+        problem = self.build()
+        node_f = make_node(
+            problem,
+            time=1,
+            ptr=[1, 0, 0, 0, 0],      # g1 scheduled
+            started=1,
+            inflight=((3, K_SWAP, 3, 4),),  # SWAP(Q4, Q5), 2 cycles left
+        )
+        h = heuristic_cost(problem, node_f)
+        assert h == 7
+        assert node_f.time + h == 8
+
+
+class TestFig9Fallacy:
+    """Uneven SWAP splits can beat meeting in the middle (Fig. 9).
+
+    Two qubits at distance 5 (4 SWAPs needed, 2 cycles each); the first
+    operand's chain holds 3 one-cycle gates, the second none.  Meeting in
+    the middle (2+2) delays the gate by 4 extra cycles; the optimal split
+    (1 on the busy qubit, 3 on the idle one) delays it by only 3.
+    """
+
+    def build(self):
+        circuit = Circuit(6)
+        circuit.h(0).h(0).h(0)   # 3-gate chain on the first operand
+        circuit.gt(0, 5)         # the distant gate
+        return MappingProblem(circuit, lnn(6), uniform_latency(1, 2))
+
+    def test_heuristic_uses_best_split(self):
+        problem = self.build()
+        h = heuristic_cost(problem, make_node(problem))
+        # u = 3 (the chain), best split r=1/s=3: delay 3; gate takes 1.
+        assert h == 3 + 3 + 1
+
+    def test_middle_split_would_be_worse(self):
+        # The even split r=s=2 yields delay max(4-0, 4-3) = 4 > 3,
+        # so if the heuristic naively met in the middle it would return 8.
+        problem = self.build()
+        assert heuristic_cost(problem, make_node(problem)) < 8
+
+
+class TestAdmissibility:
+    """h at the root never exceeds the true optimal depth (Lemma A.1)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_root_h_below_optimal_depth(self, seed):
+        from repro.circuit.generators import random_circuit
+        from repro.core import OptimalMapper
+
+        circuit = random_circuit(4, 8, two_qubit_fraction=0.7, seed=seed)
+        arch = lnn(4)
+        latency = uniform_latency(1, 3)
+        problem = MappingProblem(circuit, arch, latency)
+        h_root = heuristic_cost(problem, make_node(problem))
+        optimal = OptimalMapper(arch, latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        assert h_root <= optimal.depth

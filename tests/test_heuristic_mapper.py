@@ -1,0 +1,109 @@
+"""Tests for the practical (approximate) mapper of Section 6.2."""
+
+import pytest
+
+from repro.arch import grid, ibm_tokyo, lnn
+from repro.circuit import Circuit, IBM_LATENCY, uniform_latency
+from repro.circuit.generators import ghz_circuit, qft_skeleton, random_circuit
+from repro.core import HeuristicMapper, OptimalMapper
+from repro.verify import validate_result
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits_valid(self, seed, tokyo):
+        circuit = random_circuit(8, 60, two_qubit_fraction=0.6, seed=seed)
+        result = HeuristicMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(result)
+
+    def test_full_width_circuit(self, tokyo):
+        circuit = random_circuit(20, 80, two_qubit_fraction=0.5, seed=2)
+        result = HeuristicMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(result)
+
+    def test_explicit_initial_mapping_respected(self):
+        circuit = ghz_circuit(4)
+        result = HeuristicMapper(lnn(4), uniform_latency()).map(
+            circuit, initial_mapping=[3, 2, 1, 0]
+        )
+        validate_result(result)
+        assert result.initial_mapping == (3, 2, 1, 0)
+
+    def test_single_qubit_only_circuit(self):
+        circuit = Circuit(3).h(0).h(1).t(2).x(0)
+        result = HeuristicMapper(lnn(3), uniform_latency()).map(circuit)
+        validate_result(result)
+        assert result.depth == 2
+
+    def test_unused_qubits_get_homes(self, tokyo):
+        circuit = Circuit(6).cx(0, 1)
+        result = HeuristicMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(result)
+        assert len(set(result.initial_mapping)) == 6
+
+
+class TestQuality:
+    def test_matches_optimal_when_no_swaps_needed(self):
+        circuit = ghz_circuit(5)
+        result = HeuristicMapper(lnn(5), uniform_latency()).map(
+            circuit, initial_mapping=[0, 1, 2, 3, 4]
+        )
+        assert result.depth == circuit.depth()
+        assert result.num_inserted_swaps == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_beats_optimal(self, seed):
+        circuit = random_circuit(4, 8, two_qubit_fraction=0.8, seed=seed)
+        latency = uniform_latency(1, 3)
+        arch = lnn(4)
+        optimal = OptimalMapper(arch, latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        heuristic = HeuristicMapper(arch, latency).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        validate_result(heuristic)
+        assert heuristic.depth >= optimal.depth
+
+    def test_on_the_fly_placement_minimizes_first_distance(self, tokyo):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3)
+        result = HeuristicMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(result)
+        m = result.initial_mapping
+        assert tokyo.are_adjacent(m[0], m[1])
+        assert tokyo.are_adjacent(m[2], m[3])
+
+    def test_beats_trivial_router_on_structured_workload(self, tokyo):
+        from repro.baselines import TrivialMapper
+
+        circuit = random_circuit(12, 300, two_qubit_fraction=0.6, seed=11)
+        ours = HeuristicMapper(tokyo, IBM_LATENCY).map(circuit)
+        trivial = TrivialMapper(tokyo, IBM_LATENCY).map(circuit)
+        validate_result(ours)
+        assert ours.depth < trivial.depth
+
+
+class TestKnobs:
+    def test_paper_parameters_accepted(self, tokyo):
+        mapper = HeuristicMapper(
+            tokyo, IBM_LATENCY, top_k=10, queue_cap=2000, queue_trim=1000
+        )
+        circuit = random_circuit(8, 40, two_qubit_fraction=0.5, seed=1)
+        validate_result(mapper.map(circuit))
+
+    def test_rejects_trim_not_below_cap(self, tokyo):
+        with pytest.raises(ValueError):
+            HeuristicMapper(tokyo, queue_cap=100, queue_trim=100)
+
+    def test_rejects_bad_initial_mapping(self, tokyo):
+        with pytest.raises(ValueError):
+            HeuristicMapper(tokyo).map(
+                ghz_circuit(3), initial_mapping=[0, 0, 1]
+            )
+
+    def test_stats_populated(self, tokyo):
+        circuit = random_circuit(6, 30, two_qubit_fraction=0.5, seed=4)
+        result = HeuristicMapper(tokyo, IBM_LATENCY).map(circuit)
+        assert result.stats["nodes_expanded"] > 0
+        assert "seconds" in result.stats
+        assert not result.optimal

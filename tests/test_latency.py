@@ -1,0 +1,63 @@
+"""Unit tests for latency models."""
+
+import pytest
+
+from repro.circuit import (
+    IBM_LATENCY,
+    OLSQ_LATENCY,
+    QFT_LATENCY,
+    LatencyModel,
+    uniform_latency,
+)
+from repro.circuit.gate import single, swap, two
+
+
+class TestLookup:
+    def test_defaults_by_operand_count(self):
+        model = LatencyModel(1, 2, 6)
+        assert model.gate_latency(single("h", 0)) == 1
+        assert model.gate_latency(two("cx", 0, 1)) == 2
+        assert model.gate_latency(swap(0, 1)) == 6
+        assert model.swap_latency() == 6
+
+    def test_table_override_wins(self):
+        model = LatencyModel(1, 2, 6, table={"cz": 4})
+        assert model.gate_latency(two("cz", 0, 1)) == 4
+        assert model.gate_latency(two("cx", 0, 1)) == 2
+
+    def test_swap_table_override(self):
+        model = LatencyModel(1, 1, 3, table={"swap": 9})
+        assert model.swap_latency() == 9
+        assert model.gate_latency(swap(0, 1)) == 9
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_rejects_non_positive_latencies(self, bad):
+        with pytest.raises(ValueError):
+            LatencyModel(single_qubit_cycles=bad)
+
+    def test_rejects_bad_table_entry(self):
+        with pytest.raises(ValueError):
+            LatencyModel(table={"cx": 0})
+
+
+class TestPaperModels:
+    def test_qft_latency_all_ones(self):
+        assert QFT_LATENCY.gate_latency(two("gt", 0, 1)) == 1
+        assert QFT_LATENCY.swap_latency() == 1
+
+    def test_olsq_latency(self):
+        assert OLSQ_LATENCY.gate_latency(two("cx", 0, 1)) == 1
+        assert OLSQ_LATENCY.swap_latency() == 3
+
+    def test_ibm_latency(self):
+        assert IBM_LATENCY.gate_latency(single("h", 0)) == 1
+        assert IBM_LATENCY.gate_latency(two("cx", 0, 1)) == 2
+        assert IBM_LATENCY.swap_latency() == 6
+
+    def test_uniform_factory(self):
+        model = uniform_latency(2, 5)
+        assert model.gate_latency(single("x", 0)) == 2
+        assert model.gate_latency(two("cx", 0, 1)) == 2
+        assert model.swap_latency() == 5

@@ -1,0 +1,86 @@
+"""Unit tests for the architecture library."""
+
+import pytest
+
+from repro.arch import (
+    architecture_names,
+    by_name,
+    fully_connected,
+    grid,
+    grid_index,
+    ibm_melbourne,
+    ibm_qx2,
+    ibm_tokyo,
+    lnn,
+    rigetti_aspen4,
+)
+
+
+class TestShapes:
+    def test_lnn(self):
+        g = lnn(7)
+        assert g.num_qubits == 7
+        assert len(g.edges) == 6
+        assert all(len(g.neighbors(p)) <= 2 for p in range(7))
+
+    def test_grid_counts(self):
+        g = grid(3, 4)
+        assert g.num_qubits == 12
+        # 3*(4-1) horizontal + 4*(3-1) vertical
+        assert len(g.edges) == 17
+
+    def test_grid_index_column_major(self):
+        assert grid_index(2, 0, 0) == 0
+        assert grid_index(2, 1, 0) == 1
+        assert grid_index(2, 0, 3) == 6
+
+    def test_qx2_bowtie(self):
+        g = ibm_qx2()
+        assert g.num_qubits == 5
+        assert len(g.edges) == 6
+        assert g.are_adjacent(0, 2) and g.are_adjacent(2, 4)
+        assert not g.are_adjacent(0, 3)
+
+    def test_tokyo(self):
+        g = ibm_tokyo()
+        assert g.num_qubits == 20
+        # 4 rows x 4 horizontal + 5 cols x 3 vertical + 12 diagonals
+        assert len(g.edges) == 16 + 15 + 12
+        assert g.are_adjacent(1, 7)  # diagonal
+        assert g.diameter <= 4
+
+    def test_aspen4_two_octagons(self):
+        g = rigetti_aspen4()
+        assert g.num_qubits == 16
+        assert len(g.edges) == 18
+        assert g.are_adjacent(1, 14) and g.are_adjacent(2, 13)
+        degrees = [len(g.neighbors(p)) for p in range(16)]
+        assert max(degrees) == 3
+
+    def test_melbourne_is_2xn(self):
+        g = ibm_melbourne()
+        assert g.num_qubits == 14
+
+    def test_fully_connected(self):
+        g = fully_connected(5)
+        assert len(g.edges) == 10
+        assert g.diameter == 1
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["ibmqx2", "grid2by3", "grid2by4", "aspen-4", "tokyo"])
+    def test_by_name_fixed(self, name):
+        assert by_name(name).num_qubits >= 5
+
+    def test_by_name_parametric(self):
+        assert by_name("lnn-9").num_qubits == 9
+        assert by_name("grid3x3").num_qubits == 9
+        assert by_name("full-4").num_qubits == 4
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            by_name("does-not-exist")
+
+    def test_architecture_names_resolvable(self):
+        for name in architecture_names():
+            assert by_name(name).num_qubits > 0

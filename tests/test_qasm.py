@@ -1,0 +1,80 @@
+"""Unit tests for the OpenQASM 2.0 reader/writer."""
+
+import math
+
+import pytest
+
+from repro.circuit import Circuit, parse_qasm, to_qasm
+from repro.circuit.qasm import QasmError
+
+SAMPLE = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+rz(pi/4) q[2];
+barrier q[0],q[1];
+cx q[1],q[2];
+measure q[0] -> c[0];
+"""
+
+
+class TestParsing:
+    def test_basic_parse(self):
+        circuit = parse_qasm(SAMPLE)
+        assert circuit.num_qubits == 3
+        assert [g.name for g in circuit] == ["h", "cx", "rz", "cx"]
+
+    def test_parameter_evaluation(self):
+        circuit = parse_qasm(SAMPLE)
+        assert circuit[2].params[0] == pytest.approx(math.pi / 4)
+
+    def test_comments_stripped(self):
+        circuit = parse_qasm("qreg q[1];\n// a comment\nh q[0]; // trailing")
+        assert len(circuit) == 1
+
+    def test_multiple_registers_flattened(self):
+        text = "qreg a[2]; qreg b[2]; cx a[1],b[0];"
+        circuit = parse_qasm(text)
+        assert circuit.num_qubits == 4
+        assert circuit[0].qubits == (1, 2)
+
+    def test_negative_and_compound_params(self):
+        circuit = parse_qasm("qreg q[1]; rz(-3*pi/8) q[0];")
+        assert circuit[0].params[0] == pytest.approx(-3 * math.pi / 8)
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1]; h r[0];")
+
+    def test_missing_qreg_raises(self):
+        with pytest.raises(QasmError):
+            parse_qasm("h q[0];")
+
+    def test_malicious_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1]; rz(__import__) q[0];")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(2, 0.75).cx(1, 2)
+        back = parse_qasm(to_qasm(circuit))
+        assert back.num_qubits == 3
+        assert [g.name for g in back] == [g.name for g in circuit]
+        assert [g.qubits for g in back] == [g.qubits for g in circuit]
+        assert back[2].params[0] == pytest.approx(0.75)
+
+    def test_gt_emitted_as_cz(self):
+        circuit = Circuit(2).gt(0, 1)
+        text = to_qasm(circuit)
+        assert "cz q[0],q[1];" in text
+        back = parse_qasm(text)
+        assert back[0].name == "cz"
+
+    def test_header_present(self):
+        text = to_qasm(Circuit(1).h(0))
+        assert text.startswith("OPENQASM 2.0;")
+        assert 'include "qelib1.inc";' in text

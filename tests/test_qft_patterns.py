@@ -1,0 +1,127 @@
+"""Tests for the closed-form QFT schedules (Figs. 11–14, Fig. 13)."""
+
+import pytest
+
+from repro.arch import grid, lnn
+from repro.circuit import uniform_latency
+from repro.circuit.generators import qft_skeleton
+from repro.core import OptimalMapper
+from repro.qft import (
+    qft_2xn_constrained_depth_formula,
+    qft_2xn_constrained_schedule,
+    qft_2xn_depth_formula,
+    qft_2xn_schedule,
+    qft_lnn_depth_formula,
+    qft_lnn_schedule,
+)
+from repro.verify import validate_result
+
+
+class TestLnnPattern:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 12, 16, 20])
+    def test_valid_and_matches_formula(self, n):
+        result = qft_lnn_schedule(n)
+        validate_result(result)
+        assert result.depth == qft_lnn_depth_formula(n)
+
+    def test_qft6_depth_is_17(self):
+        """Fig. 11: the 6-qubit butterfly runs in 17 cycles."""
+        assert qft_lnn_schedule(6).depth == 17
+
+    def test_linear_depth_scaling(self):
+        """Fig. 13(a): depth grows as 4n + O(1) — strictly linear."""
+        depths = [qft_lnn_schedule(n).depth for n in range(4, 16)]
+        deltas = {b - a for a, b in zip(depths, depths[1:])}
+        assert deltas == {4}
+
+    def test_pattern_optimal_for_qft5_and_qft6(self):
+        """The search confirms the butterfly is exactly optimal (§6.1.1)."""
+        for n in (5, 6):
+            search = OptimalMapper(lnn(n), uniform_latency(1, 1)).map(
+                qft_skeleton(n), initial_mapping=list(range(n))
+            )
+            assert search.depth == qft_lnn_schedule(n).depth
+
+    def test_search_beats_pattern_at_n4_boundary(self):
+        """At n = 4 the sparse tail lets the search overlap one more cycle."""
+        search = OptimalMapper(lnn(4), uniform_latency(1, 1)).map(
+            qft_skeleton(4), initial_mapping=[0, 1, 2, 3]
+        )
+        assert search.depth == qft_lnn_schedule(4).depth - 1
+
+
+class Test2xNMixed:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10, 14, 20])
+    def test_valid_and_matches_formula(self, n):
+        result = qft_2xn_schedule(n)
+        validate_result(result)
+        assert result.depth == qft_2xn_depth_formula(n)
+
+    def test_qft8_on_2x4_is_17_cycles(self):
+        """Fig. 12: QFT-8 on 2×4 takes exactly 17 cycles."""
+        assert qft_2xn_schedule(8).depth == 17
+
+    def test_depth_is_3n_plus_constant(self):
+        """Maslov's 3n + O(1) lower bound is met (§6.1.1, 2D)."""
+        for n in (6, 8, 10, 12):
+            assert qft_2xn_schedule(n).depth == 3 * n - 7
+
+    def test_pattern_optimal_for_qft6_on_2x3(self):
+        search = OptimalMapper(grid(2, 3), uniform_latency(1, 1)).map(
+            qft_skeleton(6), initial_mapping=list(range(6))
+        )
+        assert search.depth == qft_2xn_schedule(6).depth == 11
+
+    def test_swaps_overlap_gates(self):
+        """The mixed schedule runs SWAPs concurrently with GT gates."""
+        result = qft_2xn_schedule(8)
+        by_start = {}
+        for op in result.ops:
+            by_start.setdefault(op.start, set()).add(op.is_inserted_swap)
+        assert any(kinds == {True, False} for kinds in by_start.values())
+
+    def test_rejects_odd_n(self):
+        with pytest.raises(ValueError):
+            qft_2xn_schedule(7)
+
+
+class Test2xNConstrained:
+    @pytest.mark.parametrize("n", [4, 6, 8, 10, 14, 20])
+    def test_valid_and_matches_formula(self, n):
+        result = qft_2xn_constrained_schedule(n)
+        validate_result(result)
+        assert result.depth == qft_2xn_constrained_depth_formula(n)
+
+    def test_qft8_is_19_cycles(self):
+        """Fig. 14: the no-mixing schedule takes 19 cycles for QFT-8."""
+        assert qft_2xn_constrained_schedule(8).depth == 19
+
+    def test_no_cycle_mixes_swaps_and_gates(self):
+        result = qft_2xn_constrained_schedule(10)
+        by_start = {}
+        for op in result.ops:
+            by_start.setdefault(op.start, set()).add(op.is_inserted_swap)
+        assert all(len(kinds) == 1 for kinds in by_start.values())
+
+    def test_constrained_costs_two_extra_cycles(self):
+        """Mixing SWAPs with gates saves exactly 2 cycles at every size."""
+        for n in (6, 8, 12):
+            assert (
+                qft_2xn_constrained_schedule(n).depth
+                - qft_2xn_schedule(n).depth
+                == 2
+            )
+
+
+class TestCrossPattern:
+    def test_2xn_beats_lnn(self):
+        """The 2D architecture's extra connectivity shortens QFT (~3n vs ~4n)."""
+        for n in (8, 12, 16):
+            assert qft_2xn_schedule(n).depth < qft_lnn_schedule(n).depth
+
+    def test_all_pairs_executed_once(self):
+        result = qft_2xn_schedule(10)
+        gates = [op for op in result.ops if not op.is_inserted_swap]
+        pairs = {tuple(sorted(op.logical_qubits)) for op in gates}
+        assert len(gates) == 45
+        assert len(pairs) == 45

@@ -1,0 +1,78 @@
+"""Tests for schedule rendering and the all-optimal workflow."""
+
+from repro.analysis import (
+    enumerate_optimal,
+    most_regular,
+    regularity_score,
+    render_steps,
+    render_timeline,
+)
+from repro.arch import lnn
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.generators import qft_skeleton
+from repro.qft import qft_lnn_schedule
+
+
+class TestRenderTimeline:
+    def test_marks_gates_and_swaps(self):
+        text = render_timeline(qft_lnn_schedule(4))
+        assert "-G-" in text and "=S=" in text
+        assert text.count("\n") == 4  # header + one row per physical qubit
+
+    def test_busy_cells_match_schedule(self):
+        result = qft_lnn_schedule(4)
+        text = render_timeline(result)
+        busy_cells = text.count("-G-") + text.count("=S=")
+        expected = sum(2 * op.duration for op in result.ops)
+        assert busy_cells == expected
+
+    def test_truncation(self):
+        text = render_timeline(qft_lnn_schedule(10), max_cycles=5)
+        assert "more cycles" in text
+
+
+class TestRenderSteps:
+    def test_shows_layout_and_ops(self):
+        text = render_steps(qft_lnn_schedule(4))
+        assert text.startswith("cycle")
+        assert "q0" in text and "GT(" in text and "SWAP(" in text
+
+    def test_layout_updates_after_swap(self):
+        result = qft_lnn_schedule(4)
+        lines = render_steps(result).splitlines()
+        first_layout = lines[0].split("|")[1].strip()
+        later_layout = lines[-1].split("|")[1].strip()
+        assert first_layout == "q0 q1 q2 q3"
+        assert later_layout != first_layout
+
+
+class TestAllOptimalWorkflow:
+    def test_enumerate_and_rank(self):
+        circuit = Circuit(3).cx(0, 2)
+        solutions = enumerate_optimal(
+            circuit, lnn(3), uniform_latency(1, 3),
+            initial_mapping=[0, 1, 2], max_solutions=8,
+        )
+        assert len(solutions) >= 2
+        best = most_regular(solutions)
+        assert best in solutions
+
+    def test_regular_solution_preferred(self):
+        # For QFT-4 on LNN the butterfly-like solutions score at least as
+        # high as any other optimal solution.
+        circuit = qft_skeleton(4)
+        solutions = enumerate_optimal(
+            circuit, lnn(4), uniform_latency(1, 1),
+            initial_mapping=[0, 1, 2, 3], max_solutions=24,
+        )
+        assert solutions
+        best = most_regular(solutions)
+        assert regularity_score(best) == max(
+            regularity_score(s) for s in solutions
+        )
+
+    def test_most_regular_empty_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            most_regular([])

@@ -1,0 +1,74 @@
+"""Unit tests for the ASAP scheduler of routed circuits."""
+
+import pytest
+
+from repro.arch import lnn
+from repro.circuit import Circuit, IBM_LATENCY, uniform_latency
+from repro.verify import ideal_depth, result_from_routed_ops, validate_result
+
+
+class TestIdealDepth:
+    def test_matches_circuit_depth(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        assert ideal_depth(circuit) == circuit.depth()
+        assert ideal_depth(circuit, IBM_LATENCY) == circuit.depth(IBM_LATENCY)
+
+
+class TestRoutedScheduling:
+    def test_direct_execution(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        result = result_from_routed_ops(
+            circuit, lnn(2), uniform_latency(), [0, 1],
+            [("g", 0, (0,)), ("g", 1, (0, 1))],
+        )
+        validate_result(result)
+        assert result.depth == 2
+        assert result.num_inserted_swaps == 0
+
+    def test_swap_remaps_subsequent_gates(self):
+        # cx(q0,q2) on lnn-3 after swapping q2 toward q0.
+        circuit = Circuit(3).cx(0, 2)
+        result = result_from_routed_ops(
+            circuit, lnn(3), uniform_latency(1, 3), [0, 1, 2],
+            [("s", 1, 2), ("g", 0, (0, 1))],
+        )
+        validate_result(result)
+        assert result.depth == 4  # 3-cycle swap + 1-cycle gate
+        assert result.num_inserted_swaps == 1
+        assert result.final_mapping() == (0, 2, 1)
+
+    def test_asap_overlaps_disjoint_ops(self):
+        circuit = Circuit(4).cx(0, 1).cx(2, 3)
+        result = result_from_routed_ops(
+            circuit, lnn(4), uniform_latency(), [0, 1, 2, 3],
+            [("g", 0, (0, 1)), ("g", 1, (2, 3))],
+        )
+        assert result.depth == 1
+        starts = {op.start for op in result.ops}
+        assert starts == {0}
+
+    def test_swap_logical_operands_recorded(self):
+        circuit = Circuit(2).cx(0, 1)
+        result = result_from_routed_ops(
+            circuit, lnn(3), uniform_latency(1, 3), [0, 2],
+            [("s", 1, 2), ("g", 0, (0, 1))],
+        )
+        swap_op = [op for op in result.ops if op.is_inserted_swap][0]
+        # physical 1 was empty (-1), physical 2 held q1.
+        assert set(swap_op.logical_qubits) == {-1, 1}
+        validate_result(result)
+
+    def test_stats_attached(self):
+        circuit = Circuit(2).cx(0, 1)
+        result = result_from_routed_ops(
+            circuit, lnn(2), uniform_latency(), [0, 1],
+            [("g", 0, (0, 1))], stats={"mapper": "test"},
+        )
+        assert result.stats["mapper"] == "test"
+
+    def test_unknown_kind_raises(self):
+        circuit = Circuit(2).cx(0, 1)
+        with pytest.raises(ValueError):
+            result_from_routed_ops(
+                circuit, lnn(2), uniform_latency(), [0, 1], [("x", 0, (0,))]
+            )

@@ -1,0 +1,155 @@
+"""Tests for the state-vector simulator and semantic equivalence oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch import grid, ibm_qx2, lnn
+from repro.baselines import SabreMapper, TrivialMapper, ZulehnerMapper
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.generators import ghz_circuit, random_circuit
+from repro.core import HeuristicMapper, OptimalMapper
+from repro.verify.simulator import (
+    apply_gate,
+    assert_semantically_equivalent,
+    permute_statevector,
+    simulate,
+)
+from repro.circuit.gate import Gate, single, swap, two
+
+
+class TestGateMatrices:
+    def test_h_creates_superposition(self):
+        state = simulate(Circuit(1).h(0))
+        assert np.allclose(state, [1 / math.sqrt(2)] * 2)
+
+    def test_x_flips(self):
+        state = simulate(Circuit(1).x(0))
+        assert np.allclose(state, [0, 1])
+
+    def test_bell_state(self):
+        state = simulate(Circuit(2).h(0).cx(0, 1))
+        assert np.allclose(
+            state, [1 / math.sqrt(2), 0, 0, 1 / math.sqrt(2)]
+        )
+
+    def test_cx_direction_matters(self):
+        # |01>: qubit 0 = 1.  cx(0,1) should flip qubit 1 -> |11>.
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0
+        out = apply_gate(state, two("cx", 0, 1), 2)
+        assert np.allclose(out, [0, 0, 0, 1])
+        # cx(1,0) leaves |01> alone (control qubit 1 is 0).
+        out = apply_gate(state, two("cx", 1, 0), 2)
+        assert np.allclose(out, [0, 1, 0, 0])
+
+    def test_swap_exchanges_amplitudes(self):
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0  # |01>
+        out = apply_gate(state, swap(0, 1), 2)
+        assert np.allclose(out, [0, 0, 1, 0])  # |10>
+
+    def test_rz_phases(self):
+        state = simulate(Circuit(1).h(0).rz(0, math.pi))
+        expected = np.array([np.exp(-1j * math.pi / 2), np.exp(1j * math.pi / 2)])
+        expected /= math.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(NotImplementedError):
+            simulate(Circuit(1).add("mystery", 0))
+
+    def test_unitarity_preserved(self):
+        circuit = random_circuit(4, 30, two_qubit_fraction=0.5, seed=5)
+        state = simulate(circuit)
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+
+class TestPermutation:
+    def test_identity_embedding(self):
+        state = simulate(Circuit(2).h(0).cx(0, 1))
+        embedded = permute_statevector(state, {0: 0, 1: 1}, 2)
+        assert np.allclose(embedded, state)
+
+    def test_relabeling_matches_relabeled_circuit(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        relabeled = circuit.relabeled([2, 0, 1])
+        direct = simulate(relabeled)
+        via_permutation = permute_statevector(
+            simulate(circuit), {0: 2, 1: 0, 2: 1}, 3
+        )
+        assert np.allclose(direct, via_permutation)
+
+    def test_embedding_into_larger_space(self):
+        state = simulate(Circuit(1).x(0))
+        embedded = permute_statevector(state, {0: 2}, 3)
+        assert embedded[4] == 1.0  # |100> with qubit 2 set
+
+
+class TestSemanticEquivalence:
+    def test_optimal_mapper_output_equivalent(self):
+        circuit = random_circuit(4, 12, two_qubit_fraction=0.7, seed=8)
+        result = OptimalMapper(lnn(4), uniform_latency(1, 3)).map(
+            circuit, initial_mapping=[0, 1, 2, 3]
+        )
+        assert_semantically_equivalent(result)
+
+    def test_initial_mapping_search_output_equivalent(self):
+        circuit = random_circuit(4, 10, two_qubit_fraction=0.8, seed=2)
+        result = OptimalMapper(
+            ibm_qx2(), uniform_latency(1, 3), search_initial_mapping=True
+        ).map(circuit)
+        assert_semantically_equivalent(result)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_mappers_semantically_equivalent(self, seed):
+        circuit = random_circuit(5, 25, two_qubit_fraction=0.6, seed=seed)
+        arch = grid(2, 3)
+        latency = uniform_latency(1, 3)
+        for mapper in (
+            HeuristicMapper(arch, latency),
+            SabreMapper(arch, latency, seed=seed),
+            ZulehnerMapper(arch, latency),
+            TrivialMapper(arch, latency),
+        ):
+            assert_semantically_equivalent(mapper.map(circuit))
+
+    def test_detects_corrupted_schedule(self):
+        circuit = ghz_circuit(3)
+        result = OptimalMapper(lnn(3)).map(circuit, initial_mapping=[0, 1, 2])
+        # Corrupt: flip a CNOT's physical direction.
+        from repro.core.result import ScheduledOp
+
+        for i, op in enumerate(result.ops):
+            if op.name == "cx":
+                result.ops[i] = ScheduledOp(
+                    op.gate_index, op.name, op.logical_qubits,
+                    op.physical_qubits[::-1], op.start, op.duration,
+                )
+                break
+        with pytest.raises(AssertionError, match="not semantically"):
+            assert_semantically_equivalent(result)
+
+
+class TestOriginalSwapGates:
+    """SWAP gates *in the input circuit* are computational, not remapping."""
+
+    def test_circuit_with_explicit_swap_maps_correctly(self):
+        circuit = Circuit(3).h(0).swap(0, 2).cx(0, 1)
+        result = OptimalMapper(lnn(3), uniform_latency(1, 3)).map(
+            circuit, initial_mapping=[0, 1, 2]
+        )
+        assert_semantically_equivalent(result)
+
+    def test_final_mapping_ignores_original_swaps(self):
+        circuit = Circuit(2).swap(0, 1)
+        result = OptimalMapper(lnn(2)).map(circuit, initial_mapping=[0, 1])
+        # The original swap exchanged the *states*; the logical qubits'
+        # homes never moved.
+        assert result.final_mapping() == (0, 1)
+
+    def test_heuristic_mapper_with_original_swaps(self):
+        circuit = Circuit(4).swap(0, 3).cx(0, 1).swap(1, 2).cx(2, 3)
+        result = HeuristicMapper(lnn(4), uniform_latency(1, 3)).map(circuit)
+        assert_semantically_equivalent(result)
