@@ -33,9 +33,10 @@ CONFIGS = {
 
 
 @pytest.mark.parametrize("config", sorted(CONFIGS))
-def test_ablation_qft5_lnn(benchmark, config):
+def test_ablation_qft5_lnn(benchmark, config, run_telemetry):
     circuit = qft_skeleton(5)
-    mapper = OptimalMapper(lnn(5), uniform_latency(1, 1), **CONFIGS[config])
+    mapper = OptimalMapper(lnn(5), uniform_latency(1, 1),
+                           telemetry=run_telemetry, **CONFIGS[config])
     result = benchmark.pedantic(
         lambda: mapper.map(circuit, initial_mapping=list(range(5))),
         rounds=1,

@@ -7,16 +7,36 @@ the machine-readable output.
 
 Set ``REPRO_BENCH_FULL=1`` to run the expensive configurations (full-size
 Table 3 circuits, the QFT-8-on-2×4 exact search, the slow Table 1/2 rows).
+
+Set ``REPRO_BENCH_TELEMETRY=1`` to persist per-run telemetry: every bench
+that takes the ``run_telemetry`` fixture (and any bench passing it to a
+mapper's ``telemetry=`` argument) writes a JSONL trail — spans, progress
+events and a final metrics snapshot — to
+``benchmarks/results/telemetry/<test-id>.jsonl`` next to the benchmark
+results.  Without the env var the fixture yields a disabled
+:class:`~repro.obs.Telemetry`, so instrumented benches cost nothing extra
+by default.
 """
 
 import os
+import re
 
 import pytest
+
+from repro.obs import Telemetry
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+TELEMETRY_DIR = os.path.join(RESULTS_DIR, "telemetry")
 
 
 def full_mode() -> bool:
     """True when the full (slow) benchmark configurations are requested."""
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def telemetry_mode() -> bool:
+    """True when per-run telemetry JSONL persistence is requested."""
+    return os.environ.get("REPRO_BENCH_TELEMETRY", "") == "1"
 
 
 def record_row(benchmark, **fields) -> None:
@@ -37,3 +57,22 @@ def once(benchmark):
 
     runner.benchmark = benchmark
     return runner
+
+
+@pytest.fixture
+def run_telemetry(request):
+    """Per-run telemetry; pass it to any mapper's ``telemetry=`` argument.
+
+    Disabled (near-zero overhead) unless ``REPRO_BENCH_TELEMETRY=1``, in
+    which case spans, progress events and a final metrics snapshot land in
+    ``benchmarks/results/telemetry/<test-id>.jsonl``.
+    """
+    if not telemetry_mode():
+        yield Telemetry.disabled()
+        return
+    os.makedirs(TELEMETRY_DIR, exist_ok=True)
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+    path = os.path.join(TELEMETRY_DIR, f"{slug}.jsonl")
+    telemetry = Telemetry.to_jsonl(path)
+    yield telemetry
+    telemetry.finish()

@@ -17,6 +17,7 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel, uniform_latency
 from ..core.result import MappingResult
+from ..obs.schema import REQUIRED_STAT_KEYS, STAT_SECONDS, stats_row
 from ..verify.checker import validate_result
 from .fidelity import NoiseModel, estimate_fidelity
 
@@ -75,6 +76,39 @@ class ComparisonReport:
                 f"{entry.label:20s} {entry.depth:>7} {entry.swaps:>6} "
                 f"{entry.fidelity:>9.4f} {entry.seconds:>8.2f}"
             )
+        return "\n".join(lines)
+
+    def normalized_stats(self) -> Dict[str, Dict[str, float]]:
+        """Every entry's ``MappingResult.stats`` projected onto the
+        normalized schema (:data:`~repro.obs.REQUIRED_STAT_KEYS`), keyed
+        by entry label — the uniform rows the stats table renders."""
+        return {
+            entry.label: stats_row(entry.result.stats)
+            for entry in self.entries
+        }
+
+    def stats_table(self) -> str:
+        """Formatted table of the normalized search counters.
+
+        Works across every mapper because all of them emit the shared
+        stats schema; mapper-specific extras are intentionally omitted.
+        """
+        columns = [k for k in REQUIRED_STAT_KEYS if k != "mapper"]
+        header = f"{'mapper':20s}" + "".join(
+            f" {column:>20}" for column in columns
+        )
+        lines = [header]
+        for label, row in self.normalized_stats().items():
+            cells = ""
+            for column in columns:
+                value = row.get(column)
+                if value is None:
+                    cells += f" {'—':>20}"
+                elif column == STAT_SECONDS:
+                    cells += f" {value:>20.4f}"
+                else:
+                    cells += f" {value:>20}"
+            lines.append(f"{label:20s}{cells}")
         return "\n".join(lines)
 
 

@@ -25,6 +25,8 @@ from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel
 from ..core.astar import OptimalMapper, SearchBudgetExceeded
 from ..core.result import MappingResult
+from ..obs.schema import MAPPER_OLSQ_STYLE, STAT_MAPPER
+from ..obs.telemetry import Telemetry
 
 
 class OlsqStyleMapper:
@@ -37,7 +39,13 @@ class OlsqStyleMapper:
             always does; disable to fix it for controlled experiments).
         max_nodes: Node budget per depth bound before giving up.
         max_seconds: Wall-clock budget for the whole solve.
+        telemetry: Optional observability context, forwarded to the inner
+            exact search (spans/metrics/events carry this mapper's name
+            in the result stats).
     """
+
+    #: Stats label this mapper writes into ``MappingResult.stats``.
+    mapper_name = MAPPER_OLSQ_STYLE
 
     def __init__(
         self,
@@ -46,12 +54,14 @@ class OlsqStyleMapper:
         search_initial_mapping: bool = True,
         max_nodes: Optional[int] = None,
         max_seconds: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.coupling = coupling
         self.latency = latency
         self.search_initial_mapping = search_initial_mapping
         self.max_nodes = max_nodes
         self.max_seconds = max_seconds
+        self.telemetry = telemetry
 
     def map(
         self,
@@ -70,7 +80,8 @@ class OlsqStyleMapper:
             labelled ``mapper == "olsq-style"``.
 
         Raises:
-            SearchBudgetExceeded: If the budget runs out first.
+            SearchBudgetExceeded: If the budget runs out first (its
+                ``partial_stats`` are relabelled to this mapper).
         """
         inner = OptimalMapper(
             self.coupling,
@@ -84,7 +95,13 @@ class OlsqStyleMapper:
             max_seconds=self.max_seconds,
             informed=False,  # critical-path bound only, like the encoding
             dominance=False,  # plain CSP enumeration: no comparative filter
+            telemetry=self.telemetry,
         )
-        result = inner.map(circuit, initial_mapping=initial_mapping)
-        result.stats["mapper"] = "olsq-style"
+        try:
+            result = inner.map(circuit, initial_mapping=initial_mapping)
+        except SearchBudgetExceeded as exc:
+            if exc.partial_stats:
+                exc.partial_stats[STAT_MAPPER] = self.mapper_name
+            raise
+        result.stats[STAT_MAPPER] = self.mapper_name
         return result

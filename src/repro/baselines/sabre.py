@@ -14,6 +14,7 @@ practical mode matches the paper's Table 3 protocol.
 from __future__ import annotations
 
 import random
+import time as _time
 from typing import List, Optional, Sequence, Set, Tuple
 
 from ..arch.coupling import CouplingGraph
@@ -21,6 +22,10 @@ from ..circuit.circuit import Circuit
 from ..circuit.dag import DependencyGraph
 from ..circuit.latency import LatencyModel, uniform_latency
 from ..core.result import MappingResult
+from ..obs.events import SearchProgressEvent
+from ..obs.schema import MAPPER_SABRE, base_stats
+from ..obs.telemetry import Telemetry, resolve
+from ..obs.tracer import SPAN_SEARCH
 from ..verify.scheduler import result_from_routed_ops
 
 
@@ -37,7 +42,14 @@ class SabreMapper:
         seed: Seed for the random initial mapping.
         passes: Number of traversal passes for initial-mapping refinement;
             3 reproduces the original forward–backward–forward scheme.
+        telemetry: Optional observability context.  SABRE has no node
+            expansion in the A* sense; the normalized counters map
+            ``nodes_expanded`` to SWAP decisions taken and
+            ``nodes_generated`` to candidate SWAPs scored.
     """
+
+    #: Stats label this mapper writes into ``MappingResult.stats``.
+    mapper_name = MAPPER_SABRE
 
     def __init__(
         self,
@@ -49,6 +61,7 @@ class SabreMapper:
         decay_reset_interval: int = 5,
         seed: int = 0,
         passes: int = 3,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.coupling = coupling
         self.latency = latency if latency is not None else uniform_latency()
@@ -58,6 +71,7 @@ class SabreMapper:
         self.decay_reset_interval = decay_reset_interval
         self.seed = seed
         self.passes = passes
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def map(
@@ -72,34 +86,70 @@ class SabreMapper:
             initial_mapping: Optional starting mapping; otherwise a seeded
                 random mapping refined by bidirectional passes is used.
         """
-        if initial_mapping is None:
-            rng = random.Random(self.seed)
-            physical = list(range(self.coupling.num_qubits))
-            rng.shuffle(physical)
-            mapping = physical[: circuit.num_qubits]
-            reverse = circuit.reversed()
-            for traversal in range(max(0, self.passes - 1)):
-                target = reverse if traversal % 2 == 0 else circuit
-                _, final = self._route(target, mapping)
-                mapping = list(final)
-        else:
-            mapping = list(initial_mapping)
+        tele = resolve(self.telemetry)
+        start_clock = _time.perf_counter()
+        counters = {"expanded": 0, "generated": 0}
+        with tele.tracer.span(
+            SPAN_SEARCH,
+            mapper=self.mapper_name,
+            circuit=circuit.name or "<unnamed>",
+            gates=len(circuit),
+            arch=self.coupling.name,
+        ):
+            if initial_mapping is None:
+                rng = random.Random(self.seed)
+                physical = list(range(self.coupling.num_qubits))
+                rng.shuffle(physical)
+                mapping = physical[: circuit.num_qubits]
+                reverse = circuit.reversed()
+                for traversal in range(max(0, self.passes - 1)):
+                    target = reverse if traversal % 2 == 0 else circuit
+                    with tele.tracer.span("pass", index=traversal):
+                        _, final = self._route(
+                            target, mapping, tele, counters, start_clock
+                        )
+                    mapping = list(final)
+            else:
+                mapping = list(initial_mapping)
 
-        routed, _final = self._route(circuit, mapping)
+            with tele.tracer.span("pass", index="final"):
+                routed, _final = self._route(
+                    circuit, mapping, tele, counters, start_clock
+                )
+        if tele.enabled:
+            tele.emit_metrics_snapshot(label="search_complete")
         return result_from_routed_ops(
             circuit,
             self.coupling,
             self.latency,
             mapping,
             routed,
-            stats={"mapper": "sabre", "passes": self.passes},
+            stats=base_stats(
+                self.mapper_name,
+                nodes_expanded=counters["expanded"],
+                nodes_generated=counters["generated"],
+                seconds=_time.perf_counter() - start_clock,
+                passes=self.passes,
+            ),
         )
 
     # ------------------------------------------------------------------
     def _route(
-        self, circuit: Circuit, initial_mapping: Sequence[int]
+        self,
+        circuit: Circuit,
+        initial_mapping: Sequence[int],
+        tele: Optional[Telemetry] = None,
+        counters: Optional[dict] = None,
+        start_clock: float = 0.0,
     ) -> Tuple[List, Tuple[int, ...]]:
         """One SABRE traversal; returns (routed ops, final mapping)."""
+        tele = resolve(tele)
+        counters = counters if counters is not None else {
+            "expanded": 0, "generated": 0,
+        }
+        if tele.enabled:
+            m_expanded = tele.metrics.counter("search.nodes_expanded")
+            m_generated = tele.metrics.counter("search.nodes_generated")
         dag = DependencyGraph(circuit)
         num_physical = self.coupling.num_qubits
         dist = self.coupling.distance_matrix
@@ -200,6 +250,26 @@ class SabreMapper:
                     for neighbor in self.coupling.neighbors(p):
                         candidate_edges.add((min(p, neighbor), max(p, neighbor)))
             best = min(sorted(candidate_edges), key=score)
+            counters["expanded"] += 1
+            counters["generated"] += len(candidate_edges)
+            if tele.enabled:
+                m_expanded.inc()
+                m_generated.inc(len(candidate_edges))
+                if counters["expanded"] % tele.progress_every == 0:
+                    tele.publish_progress(
+                        SearchProgressEvent(
+                            mapper="sabre",
+                            phase="search",
+                            nodes_expanded=counters["expanded"],
+                            nodes_generated=counters["generated"],
+                            heap_size=len(front),
+                            best_f=0,
+                            elapsed_seconds=(
+                                _time.perf_counter() - start_clock
+                            ),
+                            extra={"routed_ops": len(routed)},
+                        )
+                    )
             p, q = best
             routed.append(("s", p, q))
             lp, lq = inv[p], inv[q]

@@ -8,12 +8,16 @@ which the integration tests assert.
 
 from __future__ import annotations
 
+import time as _time
 from typing import List, Optional, Sequence
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel, uniform_latency
 from ..core.result import MappingResult
+from ..obs.schema import MAPPER_TRIVIAL, base_stats
+from ..obs.telemetry import Telemetry, resolve
+from ..obs.tracer import SPAN_SEARCH
 from ..verify.scheduler import result_from_routed_ops
 
 
@@ -23,15 +27,23 @@ class TrivialMapper:
     Args:
         coupling: Target architecture.
         latency: Latency model for the cycle conversion.
+        telemetry: Optional observability context.  There is no search;
+            the normalized counters map ``nodes_expanded`` to gates
+            processed and ``nodes_generated`` to SWAPs inserted.
     """
+
+    #: Stats label this mapper writes into ``MappingResult.stats``.
+    mapper_name = MAPPER_TRIVIAL
 
     def __init__(
         self,
         coupling: CouplingGraph,
         latency: Optional[LatencyModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.coupling = coupling
         self.latency = latency if latency is not None else uniform_latency()
+        self.telemetry = telemetry
 
     def map(
         self,
@@ -44,6 +56,8 @@ class TrivialMapper:
             circuit: Logical circuit.
             initial_mapping: Starting mapping (identity when omitted).
         """
+        tele = resolve(self.telemetry)
+        start_clock = _time.perf_counter()
         if initial_mapping is None:
             initial_mapping = list(range(circuit.num_qubits))
         pos = list(initial_mapping)
@@ -54,23 +68,34 @@ class TrivialMapper:
         routed: List = []
         swaps = 0
 
-        for index, gate in enumerate(circuit):
-            if gate.is_two_qubit:
-                a, b = gate.qubits
-                while dist[pos[a]][pos[b]] > 1:
-                    p = pos[a]
-                    step = min(
-                        self.coupling.neighbors(p),
-                        key=lambda r: dist[r][pos[b]],
-                    )
-                    routed.append(("s", min(p, step), max(p, step)))
-                    swaps += 1
-                    other = inv[step]
-                    inv[p], inv[step] = other, a
-                    pos[a] = step
-                    if other >= 0:
-                        pos[other] = p
-            routed.append(("g", index, tuple(pos[q] for q in gate.qubits)))
+        with tele.tracer.span(
+            SPAN_SEARCH,
+            mapper=self.mapper_name,
+            circuit=circuit.name or "<unnamed>",
+            gates=len(circuit),
+            arch=self.coupling.name,
+        ):
+            for index, gate in enumerate(circuit):
+                if gate.is_two_qubit:
+                    a, b = gate.qubits
+                    while dist[pos[a]][pos[b]] > 1:
+                        p = pos[a]
+                        step = min(
+                            self.coupling.neighbors(p),
+                            key=lambda r: dist[r][pos[b]],
+                        )
+                        routed.append(("s", min(p, step), max(p, step)))
+                        swaps += 1
+                        other = inv[step]
+                        inv[p], inv[step] = other, a
+                        pos[a] = step
+                        if other >= 0:
+                            pos[other] = p
+                routed.append(("g", index, tuple(pos[q] for q in gate.qubits)))
+        if tele.enabled:
+            tele.metrics.counter("search.nodes_expanded").inc(len(circuit))
+            tele.metrics.counter("search.nodes_generated").inc(swaps)
+            tele.emit_metrics_snapshot(label="search_complete")
 
         return result_from_routed_ops(
             circuit,
@@ -78,5 +103,11 @@ class TrivialMapper:
             self.latency,
             initial_mapping,
             routed,
-            stats={"mapper": "trivial", "swaps": swaps},
+            stats=base_stats(
+                self.mapper_name,
+                nodes_expanded=len(circuit),
+                nodes_generated=swaps,
+                seconds=_time.perf_counter() - start_clock,
+                swaps=swaps,
+            ),
         )

@@ -18,12 +18,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel, uniform_latency
 from ..core.result import MappingResult
+from ..obs.events import SearchProgressEvent
+from ..obs.schema import MAPPER_ZULEHNER, base_stats
+from ..obs.telemetry import Telemetry, resolve
+from ..obs.tracer import SPAN_SEARCH
 from ..verify.scheduler import result_from_routed_ops
 
 
@@ -36,7 +41,14 @@ class ZulehnerMapper:
         lookahead_weight: Weight of the next layer in the layer cost.
         max_nodes_per_layer: A* budget per layer before falling back to
             sequential per-gate shortest-path routing.
+        telemetry: Optional observability context.  Normalized counters
+            aggregate the per-layer A* searches: ``nodes_expanded`` /
+            ``nodes_generated`` sum mapping states expanded/pushed across
+            all layers.
     """
+
+    #: Stats label this mapper writes into ``MappingResult.stats``.
+    mapper_name = MAPPER_ZULEHNER
 
     def __init__(
         self,
@@ -44,11 +56,13 @@ class ZulehnerMapper:
         latency: Optional[LatencyModel] = None,
         lookahead_weight: float = 0.3,
         max_nodes_per_layer: int = 20000,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.coupling = coupling
         self.latency = latency if latency is not None else uniform_latency()
         self.lookahead_weight = lookahead_weight
         self.max_nodes_per_layer = max_nodes_per_layer
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def map(
@@ -63,6 +77,8 @@ class ZulehnerMapper:
             initial_mapping: Starting mapping (identity when omitted — the
                 original tool similarly starts from a fixed assignment).
         """
+        tele = resolve(self.telemetry)
+        start_clock = _time.perf_counter()
         if initial_mapping is None:
             initial_mapping = list(range(circuit.num_qubits))
         pos = list(initial_mapping)
@@ -73,40 +89,82 @@ class ZulehnerMapper:
         layers = circuit.parallel_layers()
         routed: List = []
         total_layer_swaps = 0
-        for layer_index, layer in enumerate(layers):
-            two_qubit_pairs = [
-                circuit[g].qubits for g in layer if circuit[g].is_two_qubit
-            ]
-            next_pairs: List[Tuple[int, int]] = []
-            if layer_index + 1 < len(layers):
-                next_pairs = [
-                    circuit[g].qubits
-                    for g in layers[layer_index + 1]
-                    if circuit[g].is_two_qubit
+        counters = {"expanded": 0, "generated": 0, "fallback_layers": 0}
+        with tele.tracer.span(
+            SPAN_SEARCH,
+            mapper=self.mapper_name,
+            circuit=circuit.name or "<unnamed>",
+            gates=len(circuit),
+            arch=self.coupling.name,
+            layers=len(layers),
+        ):
+            for layer_index, layer in enumerate(layers):
+                two_qubit_pairs = [
+                    circuit[g].qubits for g in layer if circuit[g].is_two_qubit
                 ]
-            swaps = (
-                self._solve_layer(pos, two_qubit_pairs, next_pairs)
-                if two_qubit_pairs
-                else []
-            )
-            if swaps is not None:
-                total_layer_swaps += len(swaps)
-                for p, q in swaps:
-                    routed.append(("s", p, q))
-                    self._apply_swap(pos, inv, p, q)
-                for g in sorted(layer):
-                    gate = circuit[g]
-                    routed.append(
-                        ("g", g, tuple(pos[q] for q in gate.qubits))
+                next_pairs: List[Tuple[int, int]] = []
+                if layer_index + 1 < len(layers):
+                    next_pairs = [
+                        circuit[g].qubits
+                        for g in layers[layer_index + 1]
+                        if circuit[g].is_two_qubit
+                    ]
+                with tele.tracer.span(
+                    "layer", index=layer_index, pairs=len(two_qubit_pairs)
+                ):
+                    swaps = (
+                        self._solve_layer(
+                            pos, two_qubit_pairs, next_pairs, counters
+                        )
+                        if two_qubit_pairs
+                        else []
                     )
-            else:
-                # A* budget exhausted: route and emit the layer's gates
-                # one at a time.  Once a gate is emitted its operands need
-                # not stay adjacent, so sequential shortest-path routing
-                # always succeeds (layer gates touch disjoint qubits).
-                total_layer_swaps += self._route_layer_sequentially(
-                    circuit, layer, pos, inv, routed
-                )
+                if swaps is not None:
+                    total_layer_swaps += len(swaps)
+                    for p, q in swaps:
+                        routed.append(("s", p, q))
+                        self._apply_swap(pos, inv, p, q)
+                    for g in sorted(layer):
+                        gate = circuit[g]
+                        routed.append(
+                            ("g", g, tuple(pos[q] for q in gate.qubits))
+                        )
+                else:
+                    # A* budget exhausted: route and emit the layer's gates
+                    # one at a time.  Once a gate is emitted its operands need
+                    # not stay adjacent, so sequential shortest-path routing
+                    # always succeeds (layer gates touch disjoint qubits).
+                    counters["fallback_layers"] += 1
+                    total_layer_swaps += self._route_layer_sequentially(
+                        circuit, layer, pos, inv, routed
+                    )
+                if tele.enabled:
+                    tele.metrics.counter("search.layers_solved").inc()
+                    tele.publish_progress(
+                        SearchProgressEvent(
+                            mapper=self.mapper_name,
+                            phase="search",
+                            nodes_expanded=counters["expanded"],
+                            nodes_generated=counters["generated"],
+                            heap_size=0,
+                            best_f=0,
+                            elapsed_seconds=(
+                                _time.perf_counter() - start_clock
+                            ),
+                            extra={
+                                "layer": layer_index,
+                                "layer_swaps": total_layer_swaps,
+                            },
+                        )
+                    )
+        if tele.enabled:
+            tele.metrics.counter("search.nodes_expanded").inc(
+                counters["expanded"]
+            )
+            tele.metrics.counter("search.nodes_generated").inc(
+                counters["generated"]
+            )
+            tele.emit_metrics_snapshot(label="search_complete")
 
         return result_from_routed_ops(
             circuit,
@@ -114,7 +172,14 @@ class ZulehnerMapper:
             self.latency,
             initial_mapping,
             routed,
-            stats={"mapper": "zulehner", "layer_swaps": total_layer_swaps},
+            stats=base_stats(
+                self.mapper_name,
+                nodes_expanded=counters["expanded"],
+                nodes_generated=counters["generated"],
+                seconds=_time.perf_counter() - start_clock,
+                layer_swaps=total_layer_swaps,
+                fallback_layers=counters["fallback_layers"],
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -163,11 +228,14 @@ class ZulehnerMapper:
         pos: Sequence[int],
         pairs: Sequence[Tuple[int, int]],
         next_pairs: Sequence[Tuple[int, int]],
+        counters: Optional[Dict[str, int]] = None,
     ) -> Optional[List[Tuple[int, int]]]:
         """Minimal SWAP sequence making every pair in ``pairs`` adjacent.
 
         Returns ``None`` when the per-layer A* node budget runs out; the
-        caller then falls back to sequential routing.
+        caller then falls back to sequential routing.  When ``counters``
+        is given, its ``expanded`` / ``generated`` entries accumulate this
+        layer's A* work.
         """
         start = tuple(pos)
         if self._layer_cost(start, pairs) == 0:
@@ -194,9 +262,17 @@ class ZulehnerMapper:
         heap = [(heuristic(start) + lookahead(start), 0, next(counter), start, ())]
         best_g: Dict[Tuple[int, ...], int] = {start: 0}
         expanded = 0
+        generated = 0
+
+        def flush_counters() -> None:
+            if counters is not None:
+                counters["expanded"] += expanded
+                counters["generated"] += generated
+
         while heap:
             _f, g, _tick, state, swaps = heapq.heappop(heap)
             if self._layer_cost(state, pairs) == 0:
+                flush_counters()
                 return list(swaps)
             if best_g.get(state, g) < g:
                 continue
@@ -223,6 +299,7 @@ class ZulehnerMapper:
                 if best_g.get(candidate, 10 ** 9) <= new_g:
                     continue
                 best_g[candidate] = new_g
+                generated += 1
                 heapq.heappush(
                     heap,
                     (
@@ -233,6 +310,7 @@ class ZulehnerMapper:
                         swaps + ((p, q),),
                     ),
                 )
+        flush_counters()
         return None  # budget exhausted; caller routes sequentially
 
     def _next_hop(self, source: int, target: int, frozen: set) -> int:

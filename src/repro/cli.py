@@ -15,6 +15,8 @@ Examples::
         --mapper heuristic --latency ibm
     python -m repro map --circuit bench:adder --arch grid2by3 \
         --mapper optimal --latency olsq --search-initial
+    python -m repro map --circuit qft:5 --arch lnn-5 \
+        --trace --metrics-out telemetry.jsonl --progress
 """
 
 from __future__ import annotations
@@ -24,7 +26,12 @@ import sys
 from typing import Optional
 
 from .arch import architecture_names, by_name
-from .baselines import SabreMapper, TrivialMapper, ZulehnerMapper
+from .baselines import (
+    OlsqStyleMapper,
+    SabreMapper,
+    TrivialMapper,
+    ZulehnerMapper,
+)
 from .benchcircuits import benchmark_circuit, benchmark_names
 from .circuit import (
     Circuit,
@@ -37,7 +44,8 @@ from .circuit import (
     uniform_latency,
 )
 from .circuit.generators import qft_skeleton, random_circuit
-from .core import HeuristicMapper, OptimalMapper
+from .core import HeuristicMapper, OptimalMapper, SearchBudgetExceeded
+from .obs import JsonlSink, Telemetry
 from .verify import validate_result
 
 _LATENCIES = {
@@ -63,42 +71,104 @@ def _load_circuit(spec: str) -> Circuit:
     return load_qasm_file(spec)
 
 
-def _build_mapper(name: str, coupling, latency: LatencyModel, args):
+def _build_mapper(name: str, coupling, latency: LatencyModel, args,
+                  telemetry: Optional[Telemetry] = None):
     if name == "optimal":
         return OptimalMapper(
             coupling,
             latency,
             search_initial_mapping=args.search_initial,
             max_seconds=args.budget,
+            telemetry=telemetry,
         )
     if name == "heuristic":
-        return HeuristicMapper(coupling, latency)
+        return HeuristicMapper(coupling, latency, telemetry=telemetry)
     if name == "sabre":
-        return SabreMapper(coupling, latency, seed=args.seed)
+        return SabreMapper(
+            coupling, latency, seed=args.seed, telemetry=telemetry
+        )
     if name == "zulehner":
-        return ZulehnerMapper(coupling, latency)
+        return ZulehnerMapper(coupling, latency, telemetry=telemetry)
+    if name == "olsq":
+        return OlsqStyleMapper(
+            coupling, latency, max_seconds=args.budget, telemetry=telemetry
+        )
     if name == "trivial":
-        return TrivialMapper(coupling, latency)
+        return TrivialMapper(coupling, latency, telemetry=telemetry)
     raise KeyError(name)
+
+
+def _build_telemetry(args) -> Optional[Telemetry]:
+    """Telemetry context for ``map``; None when no flag asks for one."""
+    if not (args.trace or args.metrics_out or args.progress):
+        return None
+    if args.metrics_out:
+        try:  # fail now, not mid-search when the sink lazily opens
+            open(args.metrics_out, "w", encoding="utf-8").close()
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot write --metrics-out {args.metrics_out}: {exc}"
+            )
+        sink = JsonlSink(args.metrics_out)
+    else:
+        sink = None
+    telemetry = Telemetry(
+        trace=args.trace, sink=sink, progress_every=args.progress_every
+    )
+    if args.progress:
+        telemetry.progress.subscribe(
+            lambda event: print(event, file=sys.stderr)
+        )
+    return telemetry
+
+
+def _print_stats(stats: dict) -> None:
+    cells = "  ".join(
+        f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+        for key, value in stats.items()
+    )
+    print(f"stats    : {cells}")
 
 
 def _cmd_map(args) -> int:
     circuit = _load_circuit(args.circuit)
     coupling = by_name(args.arch)
     latency = _LATENCIES[args.latency]
-    mapper = _build_mapper(args.mapper, coupling, latency, args)
-    result = mapper.map(circuit)
+    telemetry = _build_telemetry(args)
+    mapper = _build_mapper(args.mapper, coupling, latency, args, telemetry)
+    try:
+        result = mapper.map(circuit)
+    except SearchBudgetExceeded as exc:
+        print(f"search budget exceeded: {exc}", file=sys.stderr)
+        if exc.partial_stats:
+            _print_stats(exc.partial_stats)
+        if telemetry is not None:
+            if args.trace:
+                print(telemetry.tracer.render_tree())
+            telemetry.finish()
+            if args.metrics_out:
+                print(f"wrote telemetry to {args.metrics_out}")
+        return 2
     validate_result(result)
     print(result.describe(max_ops=args.max_ops))
+    if telemetry is not None:
+        _print_stats(result.stats)
     if args.timeline:
         from .analysis.render import render_timeline
 
         print()
         print(render_timeline(result))
+    if args.trace and telemetry is not None:
+        print()
+        print(telemetry.tracer.render_tree())
     if args.qasm_out:
         with open(args.qasm_out, "w", encoding="utf-8") as handle:
             handle.write(to_qasm(result.to_physical_circuit()))
         print(f"\nwrote transformed circuit to {args.qasm_out}")
+    if telemetry is not None:
+        telemetry.finish()
+        if args.metrics_out:
+            print(f"wrote telemetry to {args.metrics_out}")
     return 0
 
 
@@ -132,7 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument(
         "--mapper",
         default="optimal",
-        choices=["optimal", "heuristic", "sabre", "zulehner", "trivial"],
+        choices=["optimal", "heuristic", "sabre", "zulehner", "olsq",
+                 "trivial"],
     )
     map_cmd.add_argument(
         "--latency", default="unit", choices=sorted(_LATENCIES)
@@ -149,6 +220,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print an ASCII qubit/cycle timeline")
     map_cmd.add_argument("--qasm-out", default=None,
                          help="write the transformed circuit as QASM")
+    map_cmd.add_argument("--trace", action="store_true",
+                         help="record search spans; print the span tree")
+    map_cmd.add_argument("--metrics-out", default=None,
+                         help="write telemetry (spans, progress events, "
+                              "metrics snapshots) as JSONL")
+    map_cmd.add_argument("--progress", action="store_true",
+                         help="print live search-progress events to stderr")
+    map_cmd.add_argument("--progress-every", type=int, default=500,
+                         help="expansions between progress events")
     map_cmd.set_defaults(func=_cmd_map)
 
     bench_cmd = sub.add_parser("benchmarks", help="list benchmark names")

@@ -16,6 +16,12 @@ The first terminal node popped from the queue is a time-optimal transformed
 circuit (Theorem 5.2).  ``find_all_optimal`` keeps popping to enumerate
 every distinct optimal schedule (Appendix B) — modulo schedules the state
 filter identifies, which reach identical states at identical cycles.
+
+Observability: pass a :class:`~repro.obs.Telemetry` to record nested spans
+(``search`` > ``expand`` > ``heuristic``/``filter``, plus ``prefix``),
+metrics snapshotable at any point, and periodic
+:class:`~repro.obs.SearchProgressEvent`\\ s.  With no telemetry attached the
+search runs the uninstrumented branch — one flag check per expansion.
 """
 
 from __future__ import annotations
@@ -28,6 +34,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..arch.coupling import CouplingGraph, find_swap_free_mapping
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel
+from ..obs.events import SearchProgressEvent
+from ..obs.schema import MAPPER_TOQM_OPTIMAL, STAT_BUDGET_REASON, base_stats
+from ..obs.telemetry import Telemetry, resolve
+from ..obs.tracer import (
+    SPAN_EXPAND,
+    SPAN_FILTER,
+    SPAN_HEURISTIC,
+    SPAN_PREFIX,
+    SPAN_SEARCH,
+)
 from .expander import OPTIMAL_EXPANSION, expand
 from .filters import StateFilter
 from .heuristic import heuristic_cost
@@ -37,7 +53,18 @@ from .state import SearchNode
 
 
 class SearchBudgetExceeded(RuntimeError):
-    """The node or time budget ran out before an optimal terminal was found."""
+    """The node or time budget ran out before an optimal terminal was found.
+
+    Attributes:
+        partial_stats: Normalized search counters captured at the moment
+            the budget tripped (nodes expanded/generated, filter drops,
+            seconds, ``budget_reason``) — a partial run no longer loses
+            its telemetry.
+    """
+
+    def __init__(self, message: str, partial_stats: Optional[Dict] = None):
+        super().__init__(message)
+        self.partial_stats: Dict = dict(partial_stats or {})
 
 
 class OptimalMapper:
@@ -61,7 +88,12 @@ class OptimalMapper:
             configuration the OLSQ-style baseline uses.
         dominance: Enable the comparative-analysis filter (Fig. 5b); the
             equivalence check stays on either way.
+        telemetry: Optional observability context; ``None`` runs the
+            uninstrumented fast path.
     """
+
+    #: Stats label this mapper writes into ``MappingResult.stats``.
+    mapper_name = MAPPER_TOQM_OPTIMAL
 
     def __init__(
         self,
@@ -73,6 +105,7 @@ class OptimalMapper:
         max_seconds: Optional[float] = None,
         informed: bool = True,
         dominance: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.coupling = coupling
         self.latency = latency
@@ -82,6 +115,7 @@ class OptimalMapper:
         self.max_seconds = max_seconds
         self.informed = informed
         self.dominance = dominance
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def map(
@@ -182,9 +216,45 @@ class OptimalMapper:
         find_all: bool,
         max_solutions: int = 64,
     ) -> List[MappingResult]:
+        tele = resolve(self.telemetry)
+        if not tele.enabled:
+            return self._search_loop(
+                problem, initial_mapping, find_all, max_solutions, tele
+            )
+        with tele.tracer.span(
+            SPAN_SEARCH,
+            mapper=self.mapper_name,
+            circuit=problem.circuit.name or "<unnamed>",
+            gates=problem.num_gates,
+            arch=problem.coupling.name,
+        ):
+            try:
+                solutions = self._search_loop(
+                    problem, initial_mapping, find_all, max_solutions, tele
+                )
+            except SearchBudgetExceeded:
+                tele.emit_metrics_snapshot(label="budget_exceeded")
+                raise
+        tele.emit_metrics_snapshot(label="search_complete")
+        return solutions
+
+    def _search_loop(
+        self,
+        problem: MappingProblem,
+        initial_mapping: Optional[Sequence[int]],
+        find_all: bool,
+        max_solutions: int,
+        tele: Telemetry,
+    ) -> List[MappingResult]:
         start_clock = _time.perf_counter()
+        enabled = tele.enabled
+        tracer = tele.tracer
         roots, prefix_mode = self._roots(problem, initial_mapping)
-        state_filter = StateFilter(problem, dominance=self.dominance)
+        state_filter = StateFilter(
+            problem,
+            dominance=self.dominance,
+            metrics=tele.metrics if enabled else None,
+        )
         counter = itertools.count()
         heap: List[Tuple[int, int, int, SearchNode]] = []
         seen_prefix_mappings: Dict[Tuple[int, ...], int] = {}
@@ -197,6 +267,32 @@ class OptimalMapper:
             node.f = node.time + node.h
             heapq.heappush(heap, (node.f, -node.started, next(counter), node))
 
+        if enabled:
+            metrics = tele.metrics
+            m_expanded = metrics.counter("search.nodes_expanded")
+            m_generated = metrics.counter("search.nodes_generated")
+            m_heap = metrics.gauge("search.heap_size")
+            m_frontier = metrics.gauge("search.best_f")
+            m_heuristic_latency = metrics.histogram(
+                "heuristic.latency_s", scale=1e-6
+            )
+            progress_every = tele.progress_every
+
+            def push(node: SearchNode) -> None:  # noqa: F811 - timed variant
+                with tracer.span(SPAN_HEURISTIC):
+                    t0 = _time.perf_counter()
+                    node.h = heuristic_cost(
+                        problem,
+                        node,
+                        swap_aware=self.informed,
+                        metrics=metrics,
+                    )
+                    m_heuristic_latency.observe(_time.perf_counter() - t0)
+                node.f = node.time + node.h
+                heapq.heappush(
+                    heap, (node.f, -node.started, next(counter), node)
+                )
+
         for root in roots:
             if prefix_mode:
                 seen_prefix_mappings.setdefault(root.pos, 0)
@@ -204,9 +300,26 @@ class OptimalMapper:
 
         expanded = 0
         generated = len(roots)
+        if enabled:
+            m_generated.inc(generated)
         redundant = 0
         best_depth: Optional[int] = None
         solutions: List[MappingResult] = []
+
+        def make_stats(**extra) -> Dict[str, float]:
+            """Normalized counters at this instant (success or budget)."""
+            return base_stats(
+                self.mapper_name,
+                nodes_expanded=expanded,
+                nodes_generated=generated,
+                filtered_equivalent=state_filter.equivalent_dropped,
+                filtered_dominated=state_filter.dominated_dropped,
+                seconds=_time.perf_counter() - start_clock,
+                killed=state_filter.killed,
+                redundant=redundant,
+                distinct_states=state_filter.num_states,
+                **extra,
+            )
 
         while heap:
             f, _neg_started, _tick, node = heapq.heappop(heap)
@@ -219,54 +332,98 @@ class OptimalMapper:
                     best_depth = node.time
                 if node.time == best_depth:
                     solutions.append(
-                        self._reconstruct(
-                            problem,
-                            node,
-                            stats={
-                                "nodes_expanded": expanded,
-                                "nodes_generated": generated,
-                                "filtered_equivalent": state_filter.equivalent_dropped,
-                                "filtered_dominated": state_filter.dominated_dropped,
-                                "killed": state_filter.killed,
-                                "redundant": redundant,
-                                "distinct_states": state_filter.num_states,
-                                "seconds": _time.perf_counter() - start_clock,
-                            },
-                        )
+                        self._reconstruct(problem, node, stats=make_stats())
                     )
                 if not find_all or len(solutions) >= max_solutions:
                     break
                 continue
 
-            node.dropped = True  # closed: may no longer exercise dominance
-            expanded += 1
-            if self.max_nodes is not None and expanded > self.max_nodes:
+            if self.max_nodes is not None and expanded >= self.max_nodes:
                 raise SearchBudgetExceeded(
-                    f"expanded more than {self.max_nodes} nodes"
+                    f"expanded more than {self.max_nodes} nodes",
+                    partial_stats=make_stats(
+                        **{STAT_BUDGET_REASON: "max_nodes"}
+                    ),
                 )
             if (
                 self.max_seconds is not None
                 and _time.perf_counter() - start_clock > self.max_seconds
             ):
                 raise SearchBudgetExceeded(
-                    f"exceeded {self.max_seconds} seconds"
+                    f"exceeded {self.max_seconds} seconds",
+                    partial_stats=make_stats(
+                        **{STAT_BUDGET_REASON: "max_seconds"}
+                    ),
                 )
 
-            if node.in_prefix:
-                for child in self._expand_prefix(
-                    problem, node, prefix_cap, seen_prefix_mappings
-                ):
+            node.dropped = True  # closed: may no longer exercise dominance
+            expanded += 1
+            if enabled:
+                m_expanded.inc()
+                if expanded % progress_every == 0:
+                    m_heap.set(len(heap))
+                    m_frontier.set(f)
+                    tele.publish_progress(
+                        SearchProgressEvent(
+                            mapper=self.mapper_name,
+                            phase="prefix" if node.in_prefix else "search",
+                            nodes_expanded=expanded,
+                            nodes_generated=generated,
+                            heap_size=len(heap),
+                            best_f=f,
+                            elapsed_seconds=_time.perf_counter() - start_clock,
+                            extra={
+                                "filtered_equivalent":
+                                    state_filter.equivalent_dropped,
+                                "filtered_dominated":
+                                    state_filter.dominated_dropped,
+                            },
+                        )
+                    )
+
+            if not enabled:
+                # Fast path: identical to the instrumented branch below
+                # minus every span/metric touch.
+                if node.in_prefix:
+                    for child in self._expand_prefix(
+                        problem, node, prefix_cap, seen_prefix_mappings
+                    ):
+                        generated += 1
+                        push(child)
+                children = expand(problem, node, OPTIMAL_EXPANSION)
+                for child in children:
                     generated += 1
+                    if state_filter.admit(child):
+                        push(child)
+                continue
+
+            if node.in_prefix:
+                with tracer.span(SPAN_PREFIX, layers=node.prefix_layers):
+                    prefix_children = self._expand_prefix(
+                        problem, node, prefix_cap, seen_prefix_mappings
+                    )
+                for child in prefix_children:
+                    generated += 1
+                    m_generated.inc()
                     push(child)
-            children = expand(problem, node, OPTIMAL_EXPANSION)
-            for child in children:
-                generated += 1
-                if state_filter.admit(child):
-                    push(child)
+            with tracer.span(SPAN_EXPAND, t=node.time, f=f):
+                children = expand(
+                    problem, node, OPTIMAL_EXPANSION, metrics=tele.metrics
+                )
+                for child in children:
+                    generated += 1
+                    m_generated.inc()
+                    with tracer.span(SPAN_FILTER):
+                        admitted = state_filter.admit(child)
+                    if admitted:
+                        push(child)
 
         if not solutions:
             raise SearchBudgetExceeded(
-                "search ended without reaching a terminal node"
+                "search ended without reaching a terminal node",
+                partial_stats=make_stats(
+                    **{STAT_BUDGET_REASON: "exhausted"}
+                ),
             )
         return solutions
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from .problem import MappingProblem
 from .state import Action, K_GATE, K_SWAP, SearchNode
 
@@ -349,6 +350,7 @@ def expand(
     problem: MappingProblem,
     node: SearchNode,
     config: ExpansionConfig = OPTIMAL_EXPANSION,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[SearchNode]:
     """All non-redundant children of ``node``.
 
@@ -357,6 +359,14 @@ def expand(
     (waiting is only allowed while something is in flight), and the
     could-have-started-earlier redundancy rule against the parent's
     recorded startable set.
+
+    Args:
+        problem: Problem instance.
+        node: Node to expand.
+        config: Expansion restrictions (optimal vs. practical mode).
+        metrics: When given, records per-expansion distributions
+            (``expand.startable_gates/startable_swaps/action_sets/
+            children``) and counts redundancy-fallback regenerations.
     """
     gates, swaps = startable_actions(problem, node, config)
     all_startable = frozenset(gates) | frozenset(swaps)
@@ -379,10 +389,17 @@ def expand(
         # schedules, but a bounded-queue (practical-mode) search may have
         # trimmed them away — regenerate ignoring the redundancy rule so
         # the node is never a dead end.
+        if metrics is not None:
+            metrics.counter("expand.redundancy_fallbacks").inc()
         for action_set in action_sets:
             if not action_set:
                 continue
             child = apply_action_set(problem, node, action_set, all_startable)
             if child is not None:
                 children.append(child)
+    if metrics is not None:
+        metrics.histogram("expand.startable_gates").observe(len(gates))
+        metrics.histogram("expand.startable_swaps").observe(len(swaps))
+        metrics.histogram("expand.action_sets").observe(len(action_sets))
+        metrics.histogram("expand.children").observe(len(children))
     return children

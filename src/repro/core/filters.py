@@ -12,12 +12,17 @@ progress.  Within a group two checks run:
   later and releases every physical qubit no later, at a cycle no later
   (Fig. 5b).  Conversely a stored node dominated by a newcomer is lazily
   *killed*: it stays in the priority queue but is skipped when popped.
+
+When constructed with a :class:`~repro.obs.MetricsRegistry` the filter
+mirrors its drop counters into ``filter.*`` metrics so snapshots taken
+mid-search (or on budget exhaustion) see pruning behavior over time.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from .problem import MappingProblem
 from .state import K_SWAP, SearchNode
 
@@ -92,6 +97,7 @@ class StateFilter:
         problem: MappingProblem,
         dominance: bool = True,
         live_only: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._problem = problem
         self._dominance = dominance
@@ -100,6 +106,15 @@ class StateFilter:
         self.equivalent_dropped = 0
         self.dominated_dropped = 0
         self.killed = 0
+        # Pre-bound instruments: the hot admit() path pays one None check.
+        if metrics is not None:
+            self._m_equivalent = metrics.counter("filter.equivalent_dropped")
+            self._m_dominated = metrics.counter("filter.dominated_dropped")
+            self._m_killed = metrics.counter("filter.killed")
+        else:
+            self._m_equivalent = None
+            self._m_dominated = None
+            self._m_killed = None
 
     def admit(self, node: SearchNode) -> bool:
         """Consider ``node``; True if it should enter the priority queue."""
@@ -123,6 +138,8 @@ class StateFilter:
             )
             if equivalent:
                 self.equivalent_dropped += 1
+                if self._m_equivalent is not None:
+                    self._m_equivalent.inc()
                 return False
             # Dominance may only be exercised by *open* nodes (still in
             # the priority queue) — the paper compares expanded nodes "to
@@ -137,6 +154,8 @@ class StateFilter:
                 and _dominates(existing, entry)
             ):
                 self.dominated_dropped += 1
+                if self._m_dominated is not None:
+                    self._m_dominated.inc()
                 return False
             survivors.append(existing)
         kept: List[_Entry] = []
@@ -148,6 +167,8 @@ class StateFilter:
             ):
                 existing.node.killed = True
                 self.killed += 1
+                if self._m_killed is not None:
+                    self._m_killed.inc()
             else:
                 kept.append(existing)
         kept.append(entry)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..obs.metrics import MetricsRegistry
 from .problem import MappingProblem
 from .state import K_SWAP, SearchNode
 
@@ -33,6 +34,7 @@ def heuristic_cost(
     node: SearchNode,
     window: Optional[int] = None,
     swap_aware: bool = True,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> int:
     """Lower bound on cycles from ``node`` to any terminal node.
 
@@ -48,6 +50,11 @@ def heuristic_cost(
             bound degrades to the remaining critical path — the uninformed
             lower bound the OLSQ-style baseline (and OLSQ's iterative
             deepening start point) uses.  Still admissible, just weaker.
+        metrics: When given, counts calls and records the pending-gate
+            workload per evaluation (``heuristic.calls`` /
+            ``heuristic.pending_gates``); the caller times the evaluation
+            itself (``heuristic.latency_s``) since only it knows whether
+            telemetry is on.
 
     Returns:
         ``h(v) >= 0``; zero iff the remaining circuit is empty.
@@ -103,6 +110,10 @@ def heuristic_cost(
         pending = sorted(selected)
         if len(pending) > 4 * window:
             pending = pending[: 4 * window]
+
+    if metrics is not None:
+        metrics.counter("heuristic.calls").inc()
+        metrics.histogram("heuristic.pending_gates").observe(len(pending))
 
     for gate in pending:
         qubits = gate_qubits[gate]

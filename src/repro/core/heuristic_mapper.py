@@ -31,6 +31,10 @@ from typing import List, Optional, Sequence, Tuple
 from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel
+from ..obs.events import SearchProgressEvent
+from ..obs.schema import MAPPER_TOQM_HEURISTIC, base_stats
+from ..obs.telemetry import Telemetry, resolve
+from ..obs.tracer import SPAN_EXPAND, SPAN_FILTER, SPAN_HEURISTIC, SPAN_SEARCH
 from .expander import (
     ExpansionConfig,
     _blocked_frontier_pairs,
@@ -92,7 +96,12 @@ class HeuristicMapper:
             search dead-ends it is automatically retried with a larger
             cap.  This plays the role the paper's queue trimming plays at
             C++ speeds, scaled to a Python budget.
+        telemetry: Optional observability context; ``None`` runs the
+            uninstrumented fast path.
     """
+
+    #: Stats label this mapper writes into ``MappingResult.stats``.
+    mapper_name = MAPPER_TOQM_HEURISTIC
 
     def __init__(
         self,
@@ -106,6 +115,7 @@ class HeuristicMapper:
         window: int = 10,
         greediness: float = 1.5,
         max_expansions_per_level: int = 512,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if queue_trim >= queue_cap:
             raise ValueError("queue_trim must be smaller than queue_cap")
@@ -124,6 +134,7 @@ class HeuristicMapper:
         self.window = window
         self.greediness = greediness
         self.max_expansions_per_level = max_expansions_per_level
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def map(
@@ -157,13 +168,53 @@ class HeuristicMapper:
         initial_mapping: Optional[Sequence[int]],
         level_cap: int,
     ) -> MappingResult:
+        tele = resolve(self.telemetry)
+        if not tele.enabled:
+            return self._run_loop(problem, initial_mapping, level_cap, tele)
+        with tele.tracer.span(
+            SPAN_SEARCH,
+            mapper=self.mapper_name,
+            circuit=problem.circuit.name or "<unnamed>",
+            gates=problem.num_gates,
+            arch=problem.coupling.name,
+            level_cap=level_cap,
+        ):
+            result = self._run_loop(problem, initial_mapping, level_cap, tele)
+        tele.emit_metrics_snapshot(label="search_complete")
+        return result
+
+    def _run_loop(
+        self,
+        problem: MappingProblem,
+        initial_mapping: Optional[Sequence[int]],
+        level_cap: int,
+        tele: Telemetry,
+    ) -> MappingResult:
         start_clock = _time.perf_counter()
+        enabled = tele.enabled
+        tracer = tele.tracer
         root = self._make_root(problem, initial_mapping)
-        state_filter = StateFilter(problem, live_only=True)
+        state_filter = StateFilter(
+            problem,
+            live_only=True,
+            metrics=tele.metrics if enabled else None,
+        )
         counter = itertools.count()
 
         def priority(node: SearchNode) -> Tuple[int, int, int]:
             return (node.f, -node.started, next(counter))
+
+        if enabled:
+            metrics = tele.metrics
+            m_expanded = metrics.counter("search.nodes_expanded")
+            m_generated = metrics.counter("search.nodes_generated")
+            m_trims = metrics.counter("search.queue_trims")
+            m_heap = metrics.gauge("search.heap_size")
+            m_frontier = metrics.gauge("search.best_f")
+            m_heuristic_latency = metrics.histogram(
+                "heuristic.latency_s", scale=1e-6
+            )
+            progress_every = tele.progress_every
 
         root.h = heuristic_cost(problem, root, window=self.window)
         root.f = root.time + int(self.greediness * root.h)
@@ -171,6 +222,9 @@ class HeuristicMapper:
             (*priority(root), root)
         ]
         expanded = 0
+        generated = 1
+        if enabled:
+            m_generated.inc(generated)
         trims = 0
         level_expansions: dict = {}
 
@@ -182,13 +236,15 @@ class HeuristicMapper:
                 return self._reconstruct(
                     problem,
                     node,
-                    stats={
-                        "nodes_expanded": expanded,
-                        "queue_trims": trims,
-                        "filtered_equivalent": state_filter.equivalent_dropped,
-                        "filtered_dominated": state_filter.dominated_dropped,
-                        "seconds": _time.perf_counter() - start_clock,
-                    },
+                    stats=base_stats(
+                        self.mapper_name,
+                        nodes_expanded=expanded,
+                        nodes_generated=generated,
+                        filtered_equivalent=state_filter.equivalent_dropped,
+                        filtered_dominated=state_filter.dominated_dropped,
+                        seconds=_time.perf_counter() - start_clock,
+                        queue_trims=trims,
+                    ),
                 )
             level = (node.started, _frontier_distance(problem, node))
             used = level_expansions.get(level, 0)
@@ -198,21 +254,80 @@ class HeuristicMapper:
             level_expansions[level] = used + 1
             expanded += 1
             node.dropped = True  # leaves the open list
-            children = expand(problem, node, self.config)
-            scored: List[SearchNode] = []
-            for child in children:
-                self._place_frontier(problem, child)
-                child.h = heuristic_cost(problem, child, window=self.window)
-                child.f = child.time + int(self.greediness * child.h)
-                scored.append(child)
+
+            if not enabled:
+                # Fast path: identical to the instrumented branch below
+                # minus every span/metric touch.
+                children = expand(problem, node, self.config)
+                scored: List[SearchNode] = []
+                for child in children:
+                    self._place_frontier(problem, child)
+                    child.h = heuristic_cost(
+                        problem, child, window=self.window
+                    )
+                    child.f = child.time + int(self.greediness * child.h)
+                    scored.append(child)
+            else:
+                m_expanded.inc()
+                if expanded % progress_every == 0:
+                    m_heap.set(len(heap))
+                    m_frontier.set(node.f)
+                    tele.publish_progress(
+                        SearchProgressEvent(
+                            mapper=self.mapper_name,
+                            phase="search",
+                            nodes_expanded=expanded,
+                            nodes_generated=generated,
+                            heap_size=len(heap),
+                            best_f=node.f,
+                            elapsed_seconds=_time.perf_counter() - start_clock,
+                            extra={
+                                "queue_trims": trims,
+                                "gates_started": node.started,
+                            },
+                        )
+                    )
+                with tracer.span(SPAN_EXPAND, t=node.time, f=node.f):
+                    children = expand(
+                        problem, node, self.config, metrics=metrics
+                    )
+                    m_generated.inc(len(children))
+                    scored = []
+                    for child in children:
+                        self._place_frontier(problem, child)
+                        with tracer.span(SPAN_HEURISTIC):
+                            t0 = _time.perf_counter()
+                            child.h = heuristic_cost(
+                                problem,
+                                child,
+                                window=self.window,
+                                metrics=metrics,
+                            )
+                            m_heuristic_latency.observe(
+                                _time.perf_counter() - t0
+                            )
+                        child.f = child.time + int(self.greediness * child.h)
+                        scored.append(child)
+
+            generated += len(scored)
             scored.sort(key=lambda c: (c.f, -c.started))
-            for child in scored[: self.top_k]:
-                if state_filter.admit(child):
-                    heapq.heappush(heap, (*priority(child), child))
+            kept = scored[: self.top_k]
+            if not enabled:
+                for child in kept:
+                    if state_filter.admit(child):
+                        heapq.heappush(heap, (*priority(child), child))
+            else:
+                for child in kept:
+                    with tracer.span(SPAN_FILTER):
+                        admitted = state_filter.admit(child)
+                    if admitted:
+                        heapq.heappush(heap, (*priority(child), child))
             if len(heap) > self.queue_cap:
                 heap = self._trim(heap)
                 state_filter.compact()
                 trims += 1
+                if enabled:
+                    m_trims.inc()
 
         raise RoutingFailed(
             "priority queue emptied before the circuit completed"

@@ -1,0 +1,58 @@
+"""Dependency-free observability: spans, metrics, progress events.
+
+Three cooperating pieces, bundled by :class:`Telemetry`:
+
+* :class:`Tracer` — nested timed spans (``search`` > ``expand`` >
+  ``heuristic``/``filter``, plus ``prefix``) with a JSONL sink and a
+  human-readable tree renderer;
+* :class:`MetricsRegistry` — counters / gauges / histograms snapshotable
+  at any point, including on budget exhaustion;
+* :class:`ProgressPublisher` — a live :class:`SearchProgressEvent`
+  stream emitted every N expansions.
+
+:mod:`repro.obs.schema` defines the normalized ``MappingResult.stats``
+key set every mapper emits.  The default path (``telemetry=None``) is
+near-zero overhead: one flag check per expansion.
+"""
+
+from .events import ProgressPublisher, SearchProgressEvent
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .schema import (
+    MAPPER_NAMES,
+    REQUIRED_STAT_KEYS,
+    base_stats,
+    missing_stat_keys,
+    stats_row,
+    validate_stats,
+)
+from .sinks import FanoutSink, JsonlSink, MemorySink, Sink, read_jsonl
+from .telemetry import NULL_TELEMETRY, Telemetry, resolve
+from .tracer import DEFAULT_MAX_SPANS, NULL_SPAN, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "resolve",
+    "Tracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "DEFAULT_MAX_SPANS",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ProgressPublisher",
+    "SearchProgressEvent",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "FanoutSink",
+    "read_jsonl",
+    "REQUIRED_STAT_KEYS",
+    "MAPPER_NAMES",
+    "base_stats",
+    "missing_stat_keys",
+    "stats_row",
+    "validate_stats",
+]

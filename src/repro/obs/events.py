@@ -1,0 +1,104 @@
+"""Live search-progress events.
+
+Long mapping runs were previously silent until they finished (or blew
+their budget).  A :class:`SearchProgressEvent` is a periodic snapshot of
+the search frontier — emitted every N expansions — that subscribers
+receive *while the search runs*: a CLI progress printer, a benchmark
+harness persisting JSONL, or a test asserting cadence.
+
+Publishing is pull-free: the search calls
+:meth:`ProgressPublisher.publish`; subscriber exceptions are contained so
+a broken consumer cannot abort a mapping run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+
+@dataclass
+class SearchProgressEvent:
+    """One periodic snapshot of a running search.
+
+    Attributes:
+        mapper: Canonical mapper name emitting the event.
+        phase: ``"search"`` for the main loop, ``"prefix"`` while the
+            mode-2 free-SWAP prefix is being explored, ``"done"`` for the
+            final event of a finished run.
+        nodes_expanded: Expansions so far.
+        nodes_generated: Generated successors so far.
+        heap_size: Open-list size at emission time.
+        best_f: Smallest f-value popped most recently (the frontier).
+        elapsed_seconds: Wall-clock time since the search started.
+        extra: Mapper-specific additions (filter drops, trims, ...).
+    """
+
+    mapper: str
+    phase: str
+    nodes_expanded: int
+    nodes_generated: int
+    heap_size: int
+    best_f: int
+    elapsed_seconds: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_record(self) -> Dict:
+        """Flat JSONL record for this event."""
+        record = {
+            "type": "progress",
+            "mapper": self.mapper,
+            "phase": self.phase,
+            "nodes_expanded": self.nodes_expanded,
+            "nodes_generated": self.nodes_generated,
+            "heap_size": self.heap_size,
+            "best_f": self.best_f,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+        record.update(self.extra)
+        return record
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.mapper}:{self.phase}] "
+            f"expanded={self.nodes_expanded} "
+            f"generated={self.nodes_generated} "
+            f"heap={self.heap_size} f={self.best_f} "
+            f"t={self.elapsed_seconds:.2f}s"
+        )
+
+
+Subscriber = Callable[[SearchProgressEvent], None]
+
+
+class ProgressPublisher:
+    """Fan-out of progress events to registered subscribers."""
+
+    def __init__(self) -> None:
+        self._subscribers: List[Subscriber] = []
+        self.published = 0
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Register ``callback``; returns a zero-arg unsubscribe handle."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    @property
+    def has_subscribers(self) -> bool:
+        return bool(self._subscribers)
+
+    def publish(self, event: SearchProgressEvent) -> None:
+        """Deliver ``event`` to every subscriber, swallowing their errors."""
+        self.published += 1
+        for callback in list(self._subscribers):
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 - a consumer must not kill a run
+                pass

@@ -1,0 +1,95 @@
+"""Telemetry sinks: where span/metric/event records go.
+
+A *record* is a plain JSON-serializable dict with a ``"type"`` key
+(``"span"``, ``"metrics"``, ``"progress"``, ``"run"``).  Sinks are
+deliberately tiny — the hot search loop never talks to a sink directly;
+the :class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.telemetry.Telemetry` emit finished records only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+class Sink:
+    """Abstract record consumer."""
+
+    def emit(self, record: Dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps records in a list — for tests and in-process consumers."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def of_type(self, record_type: str) -> List[Dict]:
+        """All collected records with the given ``"type"``."""
+        return [r for r in self.records if r.get("type") == record_type]
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file.
+
+    The file is opened lazily on the first record and flushed after every
+    write, so a run killed by a budget exception still leaves a readable
+    (if truncated) telemetry trail.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    def emit(self, record: Dict) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(json.dumps(record, default=_json_default))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class FanoutSink(Sink):
+    """Broadcasts every record to several child sinks."""
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, record: Dict) -> None:
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def _json_default(value):
+    """Serialize the odd non-JSON value (tuples arrive as lists anyway)."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    return str(value)
+
+
+def read_jsonl(path: str) -> List[Dict]:
+    """Parse a telemetry JSONL file back into records."""
+    records: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

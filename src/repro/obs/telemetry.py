@@ -1,0 +1,131 @@
+"""The `Telemetry` facade: one handle bundling tracer + metrics + events.
+
+Every mapper accepts an optional ``telemetry`` argument.  ``None`` (the
+default) resolves to :data:`NULL_TELEMETRY`, whose ``enabled`` flag lets
+hot loops skip all instrumentation with a single attribute read — the
+no-sinks path stays near-zero overhead so tier-1 timings are unaffected.
+
+Typical wiring::
+
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.to_jsonl("run.jsonl", trace=True)
+    telemetry.progress.subscribe(print)
+    mapper = OptimalMapper(coupling, telemetry=telemetry)
+    try:
+        result = mapper.map(circuit)
+    finally:
+        telemetry.finish()        # final metrics snapshot + sink close
+
+The JSONL stream interleaves ``span`` records (as they finish),
+``progress`` records (every ``progress_every`` expansions) and
+``metrics`` records (snapshots, always at least the final one).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .events import ProgressPublisher, SearchProgressEvent
+from .metrics import MetricsRegistry
+from .sinks import JsonlSink, Sink
+from .tracer import NULL_TRACER, Tracer
+
+#: Default expansion cadence for progress events.
+DEFAULT_PROGRESS_EVERY = 1000
+
+
+class Telemetry:
+    """Shared observability context for one (or several) mapping runs.
+
+    Args:
+        trace: Record spans (off by default — spans are the costly part).
+        sink: Destination for span/progress/metrics records.
+        progress_every: Emit a progress event every N expansions.
+        max_spans: Span-recording cap forwarded to the tracer.
+    """
+
+    def __init__(
+        self,
+        trace: bool = False,
+        sink: Optional[Sink] = None,
+        progress_every: int = DEFAULT_PROGRESS_EVERY,
+        max_spans: Optional[int] = None,
+    ) -> None:
+        self.enabled = True
+        self.sink = sink
+        if trace:
+            kwargs = {} if max_spans is None else {"max_spans": max_spans}
+            self.tracer = Tracer(sink=sink, **kwargs)
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self.progress = ProgressPublisher()
+        self.progress_every = max(1, progress_every)
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A no-op context: ``enabled`` False, null tracer, dead metrics."""
+        telemetry = cls()
+        telemetry.enabled = False
+        return telemetry
+
+    @classmethod
+    def to_jsonl(
+        cls,
+        path: str,
+        trace: bool = True,
+        progress_every: int = DEFAULT_PROGRESS_EVERY,
+        max_spans: Optional[int] = None,
+    ) -> "Telemetry":
+        """Telemetry persisting every record to a JSONL file."""
+        return cls(
+            trace=trace,
+            sink=JsonlSink(path),
+            progress_every=progress_every,
+            max_spans=max_spans,
+        )
+
+    # ------------------------------------------------------------------
+    def publish_progress(self, event: SearchProgressEvent) -> None:
+        """Deliver a progress event to subscribers and the sink."""
+        self.progress.publish(event)
+        if self.sink is not None:
+            self.sink.emit(event.to_record())
+
+    def emit_metrics_snapshot(self, label: str = "snapshot") -> Dict:
+        """Snapshot every instrument; emit to the sink; return the record.
+
+        Safe to call at any point — mappers call it on normal completion
+        *and* from budget-exception paths, so partial runs keep their
+        counters.
+        """
+        record = {
+            "type": "metrics",
+            "label": label,
+            "metrics": self.metrics.snapshot(),
+        }
+        if self.sink is not None:
+            self.sink.emit(record)
+        return record
+
+    def finish(self, label: str = "final") -> Optional[Dict]:
+        """Emit the final metrics snapshot and close the sink (idempotent)."""
+        if self._finished or not self.enabled:
+            return None
+        self._finished = True
+        record = self.emit_metrics_snapshot(label=label)
+        if self.sink is not None:
+            self.sink.close()
+        return record
+
+
+#: Module-wide disabled instance; mappers use it when given ``telemetry=None``.
+NULL_TELEMETRY = Telemetry.disabled()
+
+
+def resolve(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry`` or the shared disabled instance."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

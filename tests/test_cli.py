@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import REQUIRED_STAT_KEYS, read_jsonl
 
 
 class TestMapCommand:
@@ -66,6 +67,64 @@ class TestMapCommand:
                  "--mapper", mapper]
             )
             assert code == 0
+
+
+class TestTelemetryFlags:
+    def test_trace_and_metrics_out_write_parseable_jsonl(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "telemetry.jsonl"
+        code = main(
+            ["map", "--circuit", "qft:4", "--arch", "lnn-4",
+             "--latency", "qft", "--trace", "--metrics-out", str(out)]
+        )
+        assert code == 0
+        records = read_jsonl(str(out))  # every line must be valid JSON
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"search", "expand", "heuristic", "filter"} <= span_names
+        metrics = [r for r in records if r["type"] == "metrics"]
+        assert metrics[-1]["label"] == "final"
+        assert metrics[-1]["metrics"]["search.nodes_expanded"] > 0
+        printed = capsys.readouterr().out
+        assert "search" in printed  # the rendered span tree
+        for key in REQUIRED_STAT_KEYS:
+            assert key in printed  # the stats line
+
+    def test_progress_events_print_to_stderr(self, capsys):
+        code = main(
+            ["map", "--circuit", "qft:5", "--arch", "lnn-5",
+             "--latency", "qft", "--progress", "--progress-every", "50"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[toqm-optimal:search]" in err
+        assert "expanded=50" in err
+
+    def test_budget_exceeded_exits_2_with_partial_stats(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "telemetry.jsonl"
+        code = main(
+            ["map", "--circuit", "qft:6", "--arch", "lnn-6",
+             "--latency", "qft", "--budget", "0.05",
+             "--metrics-out", str(out)]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "search budget exceeded" in captured.err
+        assert "budget_reason=max_seconds" in captured.out
+        records = read_jsonl(str(out))
+        labels = [r["label"] for r in records if r["type"] == "metrics"]
+        assert "budget_exceeded" in labels and "final" in labels
+
+    def test_olsq_mapper_choice(self, capsys):
+        code = main(
+            ["map", "--circuit", "qft:4", "--arch", "lnn-4",
+             "--mapper", "olsq", "--latency", "olsq", "--metrics-out",
+             "/dev/null"]
+        )
+        assert code == 0
+        assert "mapper=olsq-style" in capsys.readouterr().out
 
 
 class TestListingCommands:

@@ -1,0 +1,303 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_MAX_SPANS,
+    FanoutSink,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    ProgressPublisher,
+    SearchProgressEvent,
+    Telemetry,
+    Tracer,
+    read_jsonl,
+    resolve,
+)
+
+
+def make_event(expanded=10, phase="search", **extra):
+    return SearchProgressEvent(
+        mapper="toqm-optimal",
+        phase=phase,
+        nodes_expanded=expanded,
+        nodes_generated=3 * expanded,
+        heap_size=7,
+        best_f=42,
+        elapsed_seconds=0.5,
+        extra=extra,
+    )
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("search") as root:
+            with tracer.span("expand"):
+                with tracer.span("heuristic"):
+                    pass
+            with tracer.span("filter"):
+                pass
+        assert tracer.roots == [root]
+        assert [c.name for c in root.children] == ["expand", "filter"]
+        assert [c.name for c in root.children[0].children] == ["heuristic"]
+
+    def test_parent_ids_follow_nesting(self):
+        tracer = Tracer()
+        with tracer.span("search") as root:
+            with tracer.span("expand") as child:
+                pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+
+    def test_timing_is_monotone_and_contained(self):
+        tracer = Tracer()
+        with tracer.span("search") as root:
+            time.sleep(0.01)
+            with tracer.span("expand") as child:
+                time.sleep(0.01)
+        assert child.duration > 0
+        assert root.duration >= child.duration
+        assert root.start <= child.start
+        assert root.end >= child.end
+
+    def test_attrs_set_and_chained(self):
+        tracer = Tracer()
+        with tracer.span("search", depth=3) as span:
+            span.set(nodes=100)
+        record = span.to_record()
+        assert record["attrs"] == {"depth": 3, "nodes": 100}
+        assert record["type"] == "span"
+        assert record["duration_ms"] >= 0
+
+    def test_exception_recorded_on_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("search") as span:
+                raise ValueError("boom")
+        assert span.attrs["error"] == "ValueError"
+        assert span.end is not None
+
+    def test_finished_spans_stream_to_sink(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("search"):
+            with tracer.span("expand"):
+                pass
+        # children finish (and emit) before their parent
+        assert [r["name"] for r in sink.of_type("span")] == [
+            "expand", "search",
+        ]
+        assert sink.records[0]["depth"] == 1
+        assert sink.records[1]["depth"] == 0
+
+    def test_max_spans_cap_degrades_to_null_span(self):
+        tracer = Tracer(max_spans=2)
+        with tracer.span("search"):
+            with tracer.span("expand"):
+                pass
+            extra = tracer.span("expand")
+        assert extra is NULL_SPAN
+        assert tracer.num_spans == 2
+        assert tracer.dropped == 1
+        assert "dropped" in tracer.render_tree()
+
+    def test_default_cap_is_generous(self):
+        assert Tracer().max_spans == DEFAULT_MAX_SPANS
+
+    def test_render_tree_shows_names_and_truncates(self):
+        tracer = Tracer()
+        with tracer.span("search"):
+            for _ in range(5):
+                with tracer.span("expand"):
+                    pass
+        tree = tracer.render_tree(max_children=3)
+        assert tree.count("expand") == 3
+        assert "+2 more" in tree
+        assert tree.splitlines()[0].lstrip().startswith("search")
+
+    def test_null_tracer_is_free(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("search", anything=1)
+        with span as inner:
+            assert inner.set(more=2) is inner
+        assert NULL_TRACER.render_tree() == ""
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("search.nodes_expanded").inc()
+        registry.counter("search.nodes_expanded").inc(4)
+        registry.gauge("search.heap_size").set(10)
+        registry.gauge("search.heap_size").set(3)
+        registry.histogram("expand.children").observe(2)
+        registry.histogram("expand.children").observe(6)
+        snap = registry.snapshot()
+        assert snap["search.nodes_expanded"] == 5
+        assert snap["search.heap_size"] == {"value": 3, "max": 10}
+        hist = snap["expand.children"]
+        assert hist["count"] == 2
+        assert hist["sum"] == 8
+        assert hist["min"] == 2 and hist["max"] == 6
+        assert sum(hist["buckets"]) == 2
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b", scale=1e-6).observe(3.5e-5)
+        json.dumps(registry.snapshot())
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_histogram_scale_buckets_latency(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", scale=1e-6)
+        hist.observe(1e-6)   # 1 unit -> bucket 1
+        hist.observe(100e-6)  # 100 units -> higher bucket
+        assert hist.buckets[1] == 1
+        assert sum(hist.buckets) == 2
+        assert hist.mean == pytest.approx(50.5e-6)
+
+    def test_snapshot_mid_run_then_again(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        counter.inc()
+        first = registry.snapshot()
+        counter.inc()
+        second = registry.snapshot()
+        assert (first["n"], second["n"]) == (1, 2)
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"type": "span", "name": "search"})
+        sink.emit({"type": "metrics", "metrics": {"n": 1}})
+        sink.close()
+        records = read_jsonl(path)
+        assert [r["type"] for r in records] == ["span", "metrics"]
+        assert records[1]["metrics"] == {"n": 1}
+
+    def test_jsonl_flushes_per_record(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"type": "progress", "nodes_expanded": 1})
+        # readable before close — a budget-killed run keeps its trail
+        assert read_jsonl(path)[0]["nodes_expanded"] == 1
+        sink.close()
+
+    def test_jsonl_serializes_sets(self, tmp_path):
+        path = str(tmp_path / "telemetry.jsonl")
+        sink = JsonlSink(path)
+        sink.emit({"type": "span", "attrs": {"qubits": {2, 0, 1}}})
+        sink.close()
+        assert read_jsonl(path)[0]["attrs"]["qubits"] == [0, 1, 2]
+
+    def test_fanout_broadcasts_and_skips_none(self):
+        a, b = MemorySink(), MemorySink()
+        fan = FanoutSink(a, None, b)
+        fan.emit({"type": "span"})
+        assert len(a.records) == len(b.records) == 1
+
+
+class TestProgressEvents:
+    def test_publish_reaches_all_subscribers(self):
+        publisher = ProgressPublisher()
+        seen = []
+        publisher.subscribe(seen.append)
+        publisher.subscribe(lambda e: seen.append(e))
+        publisher.publish(make_event())
+        assert len(seen) == 2
+        assert publisher.published == 1
+
+    def test_unsubscribe_handle(self):
+        publisher = ProgressPublisher()
+        seen = []
+        unsubscribe = publisher.subscribe(seen.append)
+        unsubscribe()
+        unsubscribe()  # idempotent
+        publisher.publish(make_event())
+        assert seen == []
+
+    def test_broken_subscriber_cannot_kill_the_run(self):
+        publisher = ProgressPublisher()
+        seen = []
+
+        def broken(_event):
+            raise RuntimeError("consumer bug")
+
+        publisher.subscribe(broken)
+        publisher.subscribe(seen.append)
+        publisher.publish(make_event())
+        assert len(seen) == 1
+
+    def test_event_record_and_str(self):
+        event = make_event(expanded=50, queue_trims=2)
+        record = event.to_record()
+        assert record["type"] == "progress"
+        assert record["nodes_expanded"] == 50
+        assert record["queue_trims"] == 2
+        assert "[toqm-optimal:search]" in str(event)
+        assert "expanded=50" in str(event)
+
+    def test_cadence_every_n_expansions(self):
+        """The telemetry contract: one event per `progress_every` batch."""
+        telemetry = Telemetry(progress_every=10)
+        seen = []
+        telemetry.progress.subscribe(seen.append)
+        for expanded in range(1, 101):
+            if expanded % telemetry.progress_every == 0:
+                telemetry.publish_progress(make_event(expanded=expanded))
+        assert [e.nodes_expanded for e in seen] == list(range(10, 101, 10))
+
+
+class TestTelemetry:
+    def test_disabled_is_null(self):
+        telemetry = Telemetry.disabled()
+        assert telemetry.enabled is False
+        assert telemetry.tracer is NULL_TRACER
+        assert resolve(None) is NULL_TELEMETRY
+        assert resolve(telemetry) is telemetry
+
+    def test_progress_events_reach_sink(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        telemetry.publish_progress(make_event())
+        assert sink.of_type("progress")[0]["best_f"] == 42
+
+    def test_finish_emits_final_snapshot_once(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        telemetry.metrics.counter("n").inc(3)
+        record = telemetry.finish()
+        assert record["label"] == "final"
+        assert record["metrics"]["n"] == 3
+        assert telemetry.finish() is None  # idempotent
+        assert len(sink.of_type("metrics")) == 1
+
+    def test_to_jsonl_interleaves_record_types(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        telemetry = Telemetry.to_jsonl(path, progress_every=1)
+        with telemetry.tracer.span("search"):
+            pass
+        telemetry.publish_progress(make_event())
+        telemetry.metrics.counter("n").inc()
+        telemetry.finish()
+        types = [r["type"] for r in read_jsonl(path)]
+        assert types == ["span", "progress", "metrics"]
+
+    def test_progress_every_clamped_to_one(self):
+        assert Telemetry(progress_every=0).progress_every == 1

@@ -1,0 +1,148 @@
+"""Cross-mapper tests for the normalized ``MappingResult.stats`` schema.
+
+Every mapper — TOQM optimal, TOQM heuristic, SABRE, Zulehner, OLSQ-style
+and trivial — must emit the same required key set so
+``analysis.compare`` can tabulate them uniformly, and budget-killed runs
+must carry the same schema in ``SearchBudgetExceeded.partial_stats``.
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_mappers
+from repro.arch import grid, lnn
+from repro.baselines import (
+    OlsqStyleMapper,
+    SabreMapper,
+    TrivialMapper,
+    ZulehnerMapper,
+)
+from repro.circuit import uniform_latency
+from repro.circuit.generators import qft_skeleton, random_circuit
+from repro.core import HeuristicMapper, OptimalMapper, SearchBudgetExceeded
+from repro.obs import (
+    MAPPER_NAMES,
+    REQUIRED_STAT_KEYS,
+    MemorySink,
+    Telemetry,
+    base_stats,
+    missing_stat_keys,
+    stats_row,
+    validate_stats,
+)
+from repro.obs.schema import STAT_BUDGET_REASON
+
+
+def small_circuit():
+    return qft_skeleton(4)
+
+
+LATENCY = uniform_latency(1, 3)
+
+
+def mapper_matrix():
+    coupling = lnn(4)
+    return [
+        ("toqm-optimal", OptimalMapper(coupling, LATENCY)),
+        ("toqm-heuristic", HeuristicMapper(coupling, LATENCY)),
+        ("sabre", SabreMapper(coupling, LATENCY, seed=0)),
+        ("zulehner", ZulehnerMapper(coupling, LATENCY)),
+        ("olsq-style", OlsqStyleMapper(coupling, LATENCY)),
+        ("trivial", TrivialMapper(coupling, LATENCY)),
+    ]
+
+
+class TestSchemaHelpers:
+    def test_base_stats_conforms(self):
+        stats = base_stats("toqm-optimal", nodes_expanded=5, killed=1)
+        assert missing_stat_keys(stats) == []
+        validate_stats(stats)
+        assert stats["killed"] == 1
+
+    def test_validate_rejects_partial_dict(self):
+        with pytest.raises(ValueError, match="nodes_generated"):
+            validate_stats({"mapper": "sabre", "nodes_expanded": 1})
+
+    def test_stats_row_projects_and_fills_none(self):
+        row = stats_row({"mapper": "sabre", "extra": 9, "seconds": 0.1})
+        assert set(row) == set(REQUIRED_STAT_KEYS)
+        assert row["nodes_expanded"] is None
+        assert "extra" not in row
+
+
+class TestEveryMapperEmitsTheSchema:
+    @pytest.mark.parametrize(
+        "name,mapper", mapper_matrix(), ids=[n for n, _ in mapper_matrix()]
+    )
+    def test_required_keys_and_canonical_name(self, name, mapper):
+        result = mapper.map(small_circuit())
+        assert missing_stat_keys(result.stats) == []
+        assert result.stats["mapper"] == name
+        assert result.stats["mapper"] in MAPPER_NAMES
+        assert result.stats["seconds"] >= 0
+        assert result.stats["nodes_expanded"] >= 0
+
+    @pytest.mark.parametrize("mapper_cls", [OptimalMapper, HeuristicMapper])
+    def test_stats_match_metrics_counters(self, mapper_cls):
+        telemetry = Telemetry()
+        mapper = mapper_cls(lnn(4), LATENCY, telemetry=telemetry)
+        result = mapper.map(small_circuit())
+        snap = telemetry.metrics.snapshot()
+        assert snap["search.nodes_expanded"] == result.stats["nodes_expanded"]
+        assert snap["search.nodes_generated"] == result.stats["nodes_generated"]
+
+
+class TestBudgetExceededCarriesPartialStats:
+    def test_node_budget_partial_stats(self):
+        mapper = OptimalMapper(lnn(5), LATENCY, max_nodes=3)
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            mapper.map(qft_skeleton(5))
+        stats = excinfo.value.partial_stats
+        assert stats is not None
+        assert missing_stat_keys(stats) == []
+        assert stats["mapper"] == "toqm-optimal"
+        assert stats["nodes_expanded"] == 3
+        assert stats[STAT_BUDGET_REASON] == "max_nodes"
+        assert stats["seconds"] > 0
+
+    def test_partial_stats_with_telemetry_snapshot(self):
+        sink = MemorySink()
+        telemetry = Telemetry(sink=sink)
+        mapper = OptimalMapper(lnn(5), LATENCY, max_nodes=5,
+                               telemetry=telemetry)
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            mapper.map(qft_skeleton(5))
+        # the registry was snapshotted at the kill point
+        labels = [r["label"] for r in sink.of_type("metrics")]
+        assert "budget_exceeded" in labels
+        snapshot = sink.of_type("metrics")[0]["metrics"]
+        assert snapshot["search.nodes_expanded"] == \
+            excinfo.value.partial_stats["nodes_expanded"]
+
+    def test_olsq_relabels_partial_stats(self):
+        mapper = OlsqStyleMapper(grid(2, 3), LATENCY, max_nodes=3)
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            mapper.map(random_circuit(5, 25, seed=1))
+        assert excinfo.value.partial_stats["mapper"] == "olsq-style"
+
+
+class TestCompareTabulation:
+    def test_stats_table_covers_all_mappers(self):
+        coupling = lnn(4)
+        report = compare_mappers(
+            small_circuit(),
+            coupling,
+            [
+                ("optimal", OptimalMapper(coupling, LATENCY)),
+                ("sabre", SabreMapper(coupling, LATENCY, seed=0)),
+                ("trivial", TrivialMapper(coupling, LATENCY)),
+            ],
+            latency=LATENCY,
+        )
+        rows = report.normalized_stats()
+        assert set(rows) == {"optimal", "sabre", "trivial"}
+        for row in rows.values():
+            assert set(row) == set(REQUIRED_STAT_KEYS)
+            assert row["nodes_expanded"] is not None
+        table = report.stats_table()
+        assert "nodes_expanded" in table
+        assert "sabre" in table and "trivial" in table
