@@ -1,0 +1,243 @@
+"""Search-performance trajectory harness: emits ``BENCH_search.json``.
+
+Unlike the figure/table benches (which reproduce *paper* numbers), this
+script tracks *our own* mapper throughput over time so performance work
+has a recorded baseline to be held against.  It runs a small suite of
+exact and heuristic searches, computes nodes/sec, wall time and the
+heuristic-memo hit rate per suite, and writes everything — including the
+pre-recorded baseline and the speedup against it — to one JSON file.
+
+Run it directly (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_search_perf.py
+    PYTHONPATH=src python benchmarks/bench_search_perf.py --tiny \
+        --out /tmp/BENCH_search.json
+
+``--tiny`` shrinks every suite for CI smoke runs; ``--check-speedup``
+exits non-zero when the QFT-8/LNN microbench regresses below the given
+multiple of the recorded baseline (off by default — CI uploads the JSON
+but never gates on wall-clock, which is too noisy on shared runners).
+
+How to read the output: ``suites.<name>.nodes_per_sec`` is the
+throughput headline (median over iterations); ``memo_hit_rate`` is
+``hits / (hits + misses)`` of the whole-evaluation heuristic cache; and
+``speedup_vs_baseline`` divides the current microbench throughput by
+``baseline.qft8_lnn_exact_nodes_per_sec``, which was measured on the
+commit named in ``baseline.commit`` with this same script's
+methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.analysis.batch import BatchTask, map_many
+from repro.arch import lnn
+from repro.circuit import uniform_latency
+from repro.circuit.generators import qft_skeleton, random_circuit
+from repro.core import HeuristicMapper, OptimalMapper, SearchBudgetExceeded
+
+#: Throughput of the QFT-8/LNN exact microbench measured immediately
+#: before the hot-path overhaul landed, with this script's methodology
+#: (median of 3 runs, 20k-node budget, uniform(1,3) latency).  The
+#: trajectory point every later run is compared against.
+BASELINE = {
+    "commit": "b9dead3",
+    "label": "pre-overhaul",
+    "qft8_lnn_exact_nodes_per_sec": 3882.1,
+}
+
+MICRO_SUITE = "qft8_lnn_exact"
+
+
+def _memo_hit_rate(stats: Dict) -> Optional[float]:
+    hits = stats.get("memo_hits")
+    misses = stats.get("memo_misses")
+    if hits is None or misses is None or hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+def _run_exact_budgeted(num_qubits: int, max_nodes: int,
+                        iterations: int) -> Dict:
+    """Exact search driven into its node budget: pure-throughput probe."""
+    circuit = qft_skeleton(num_qubits)
+    samples = []
+    for _ in range(iterations):
+        mapper = OptimalMapper(
+            lnn(num_qubits), uniform_latency(1, 3), max_nodes=max_nodes
+        )
+        try:
+            result = mapper.map(
+                circuit, initial_mapping=list(range(num_qubits))
+            )
+            stats = result.stats  # solved inside the budget (tiny mode)
+        except SearchBudgetExceeded as exc:
+            stats = exc.partial_stats
+        samples.append(stats)
+    rates = [s["nodes_expanded"] / s["seconds"] for s in samples]
+    mid = samples[len(samples) // 2]
+    return {
+        "kind": "exact-budgeted",
+        "iterations": iterations,
+        "nodes_expanded": int(mid["nodes_expanded"]),
+        "wall_seconds": statistics.median(s["seconds"] for s in samples),
+        "nodes_per_sec": statistics.median(rates),
+        "memo_hit_rate": _memo_hit_rate(mid),
+    }
+
+
+def _run_exact_solve(num_qubits: int, iterations: int) -> Dict:
+    """Exact search run to optimality: end-to-end latency probe."""
+    circuit = qft_skeleton(num_qubits)
+    samples = []
+    depth = None
+    for _ in range(iterations):
+        mapper = OptimalMapper(lnn(num_qubits), uniform_latency(1, 3))
+        result = mapper.map(circuit, initial_mapping=list(range(num_qubits)))
+        depth = result.depth
+        samples.append(result.stats)
+    rates = [s["nodes_expanded"] / s["seconds"] for s in samples]
+    mid = samples[len(samples) // 2]
+    return {
+        "kind": "exact-solve",
+        "iterations": iterations,
+        "depth": depth,
+        "nodes_expanded": int(mid["nodes_expanded"]),
+        "wall_seconds": statistics.median(s["seconds"] for s in samples),
+        "nodes_per_sec": statistics.median(rates),
+        "memo_hit_rate": _memo_hit_rate(mid),
+    }
+
+
+def _run_heuristic(num_qubits: int, iterations: int) -> Dict:
+    """Practical-mapper probe (layer-limited search, trimmed queue)."""
+    circuit = qft_skeleton(num_qubits)
+    samples = []
+    depth = None
+    for _ in range(iterations):
+        mapper = HeuristicMapper(lnn(num_qubits), uniform_latency(1, 3))
+        result = mapper.map(circuit, initial_mapping=list(range(num_qubits)))
+        depth = result.depth
+        samples.append(result.stats)
+    rates = [s["nodes_expanded"] / s["seconds"] for s in samples]
+    mid = samples[len(samples) // 2]
+    return {
+        "kind": "heuristic",
+        "iterations": iterations,
+        "depth": depth,
+        "nodes_expanded": int(mid["nodes_expanded"]),
+        "wall_seconds": statistics.median(s["seconds"] for s in samples),
+        "nodes_per_sec": statistics.median(rates),
+        "memo_hit_rate": _memo_hit_rate(mid),
+    }
+
+
+def _run_batch(num_circuits: int, workers: int) -> Dict:
+    """Batch-runner probe: map_many over random circuits."""
+    tasks = [
+        BatchTask(
+            label=f"rand5-{seed}",
+            circuit=random_circuit(5, 8, seed=seed),
+            mapper=OptimalMapper(
+                lnn(5), uniform_latency(1, 3), max_nodes=50000
+            ),
+        )
+        for seed in range(num_circuits)
+    ]
+    start = time.perf_counter()
+    records = map_many(tasks, max_workers=workers, keep_results=False)
+    wall = time.perf_counter() - start
+    nodes = sum(int(r.stats.get("nodes_expanded", 0)) for r in records)
+    return {
+        "kind": "batch",
+        "circuits": num_circuits,
+        "workers": workers,
+        "succeeded": sum(1 for r in records if r.ok),
+        "nodes_expanded": nodes,
+        "wall_seconds": wall,
+        "nodes_per_sec": nodes / wall if wall > 0 else None,
+        "memo_hit_rate": None,
+    }
+
+
+def run_suites(tiny: bool) -> Dict[str, Dict]:
+    if tiny:
+        return {
+            MICRO_SUITE: _run_exact_budgeted(6, max_nodes=2000, iterations=1),
+            "qft4_lnn_solve": _run_exact_solve(4, iterations=2),
+            "heuristic_qft6_lnn": _run_heuristic(6, iterations=2),
+            "batch_random5": _run_batch(num_circuits=2, workers=1),
+        }
+    return {
+        MICRO_SUITE: _run_exact_budgeted(8, max_nodes=20000, iterations=3),
+        "qft5_lnn_solve": _run_exact_solve(5, iterations=5),
+        "heuristic_qft8_lnn": _run_heuristic(8, iterations=3),
+        "batch_random5": _run_batch(num_circuits=4, workers=1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="shrunken suites for CI smoke runs (microbench label kept, "
+             "but throughput is NOT comparable to full runs)",
+    )
+    parser.add_argument(
+        "--out", default="benchmarks/results/BENCH_search.json",
+        help="output path for the JSON report",
+    )
+    parser.add_argument(
+        "--check-speedup", type=float, default=None, metavar="X",
+        help="exit 1 unless microbench nodes/sec >= X * recorded baseline "
+             "(full mode only)",
+    )
+    args = parser.parse_args(argv)
+
+    suites = run_suites(args.tiny)
+    report = {
+        "schema": "repro.bench_search/1",
+        "mode": "tiny" if args.tiny else "full",
+        "baseline": dict(BASELINE),
+        "suites": suites,
+    }
+    if not args.tiny:
+        current = suites[MICRO_SUITE]["nodes_per_sec"]
+        report["speedup_vs_baseline"] = {
+            MICRO_SUITE: current / BASELINE["qft8_lnn_exact_nodes_per_sec"]
+        }
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for name, suite in suites.items():
+        rate = suite.get("nodes_per_sec")
+        rate_txt = f"{rate:,.0f} nodes/s" if rate else "—"
+        memo = suite.get("memo_hit_rate")
+        memo_txt = f"memo {memo:.1%}" if memo is not None else "memo —"
+        print(f"{name:22s} {rate_txt:>18s}  "
+              f"{suite['wall_seconds']:.3f}s  {memo_txt}")
+    if "speedup_vs_baseline" in report:
+        speedup = report["speedup_vs_baseline"][MICRO_SUITE]
+        print(f"{'speedup vs baseline':22s} {speedup:>17.2f}x  "
+              f"(baseline {BASELINE['commit']})")
+        if args.check_speedup is not None and speedup < args.check_speedup:
+            print(
+                f"FAIL: microbench speedup {speedup:.2f}x below required "
+                f"{args.check_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

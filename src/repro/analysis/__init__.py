@@ -1,6 +1,7 @@
 """Exact-analysis tooling: all-optimal enumeration, pattern detection,
 schedule rendering (paper Section 6.1 and Appendix B)."""
 
+from .batch import BatchRecord, BatchTask, map_many, summarize
 from .compare import ComparisonReport, MapperComparison, compare_mappers
 from .all_optimal import enumerate_optimal, most_regular, regularity_score
 from .fidelity import NoiseModel, estimate_fidelity, fidelity_gain
@@ -13,6 +14,10 @@ from .patterns import (
 from .render import render_steps, render_timeline
 
 __all__ = [
+    "BatchRecord",
+    "BatchTask",
+    "map_many",
+    "summarize",
     "compare_mappers",
     "ComparisonReport",
     "MapperComparison",

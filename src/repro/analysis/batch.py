@@ -1,0 +1,237 @@
+"""Parallel batch mapping: route many circuits across a process pool.
+
+``map_many`` is the scale-out entry point the ROADMAP asks for: it takes a
+list of :class:`BatchTask` (label, circuit, mapper), dispatches them to a
+``ProcessPoolExecutor`` in chunks, and returns one :class:`BatchRecord`
+per task *in submission order* regardless of completion order.  Failure is
+contained per task: a search-budget abort, a mapper exception, or a
+crashed worker process each produce an error record for the affected
+task(s) instead of poisoning the whole batch.
+
+Every successful record carries the mapper's ``stats`` dict, which all
+mappers in this library emit in the normalized schema
+(:data:`repro.obs.schema.REQUIRED_STAT_KEYS`), so batch output tabulates
+uniformly across mappers — the same property
+:mod:`repro.analysis.compare` relies on.
+
+Design constraints worth knowing:
+
+* Workers are module-level functions and tasks are plain picklable
+  objects — mappers constructed with ``telemetry=None`` (the default)
+  pickle fine; telemetry sinks hold file handles and do not, so
+  ``map_many`` refuses instrumented mappers up front rather than failing
+  inside the pool with an opaque pickling error.
+* ``max_workers=1`` (or a single-CPU machine with ``max_workers=None``)
+  runs every task in-process with no pool at all, which keeps coverage,
+  debugging and profiling simple and avoids fork overhead where it could
+  never pay off.
+* Budgets (``max_nodes`` / ``max_seconds``) are applied per task by
+  copying the mapper, so the caller's mapper instance is never mutated.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.circuit import Circuit
+from ..core.astar import SearchBudgetExceeded
+from ..core.result import MappingResult
+from ..verify.checker import validate_result
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One unit of batch work: route ``circuit`` with ``mapper``.
+
+    ``mapper`` may be any object with a ``map(circuit)`` method returning
+    a :class:`MappingResult`; for pool execution it must be picklable
+    (all library mappers are, with telemetry left unset).
+    """
+
+    label: str
+    circuit: Circuit
+    mapper: object
+
+
+@dataclass
+class BatchRecord:
+    """Outcome of one :class:`BatchTask`.
+
+    ``ok`` distinguishes success from containment: on failure ``error``
+    holds a one-line description and ``stats`` holds whatever partial
+    counters were salvaged (budget aborts carry their
+    ``partial_stats``; crashes carry an empty dict).
+    """
+
+    label: str
+    ok: bool
+    seconds: float = 0.0
+    depth: Optional[int] = None
+    swaps: Optional[int] = None
+    stats: Dict = field(default_factory=dict)
+    error: Optional[str] = None
+    result: Optional[MappingResult] = None
+
+
+def _run_task(
+    task: BatchTask,
+    max_nodes: Optional[int],
+    max_seconds: Optional[float],
+    keep_results: bool,
+    validate: bool,
+) -> BatchRecord:
+    """Execute one task, converting every failure into an error record."""
+    mapper = task.mapper
+    if max_nodes is not None or max_seconds is not None:
+        mapper = copy.copy(mapper)
+        if max_nodes is not None and hasattr(mapper, "max_nodes"):
+            mapper.max_nodes = max_nodes
+        if max_seconds is not None and hasattr(mapper, "max_seconds"):
+            mapper.max_seconds = max_seconds
+    start = time.perf_counter()
+    try:
+        result = mapper.map(task.circuit)
+        if validate:
+            validate_result(result)
+    except SearchBudgetExceeded as exc:
+        return BatchRecord(
+            label=task.label,
+            ok=False,
+            seconds=time.perf_counter() - start,
+            stats=dict(exc.partial_stats),
+            error=f"budget exceeded: {exc}",
+        )
+    except Exception as exc:  # noqa: BLE001 - containment is the point
+        return BatchRecord(
+            label=task.label,
+            ok=False,
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return BatchRecord(
+        label=task.label,
+        ok=True,
+        seconds=time.perf_counter() - start,
+        depth=result.depth,
+        swaps=result.num_inserted_swaps,
+        stats=dict(result.stats),
+        result=result if keep_results else None,
+    )
+
+
+def _run_chunk(
+    chunk: List[BatchTask],
+    max_nodes: Optional[int],
+    max_seconds: Optional[float],
+    keep_results: bool,
+    validate: bool,
+) -> List[BatchRecord]:
+    """Pool worker: run a chunk of tasks sequentially in one process."""
+    return [
+        _run_task(task, max_nodes, max_seconds, keep_results, validate)
+        for task in chunk
+    ]
+
+
+def _default_workers() -> int:
+    import os
+
+    return os.cpu_count() or 1
+
+
+def _reject_unpicklable_telemetry(tasks: Sequence[BatchTask]) -> None:
+    for task in tasks:
+        tele = getattr(task.mapper, "telemetry", None)
+        if tele is not None and getattr(tele, "enabled", False):
+            raise ValueError(
+                f"task {task.label!r}: mappers with live telemetry cannot "
+                "cross a process boundary (sinks hold file handles); "
+                "run with max_workers=1 or detach telemetry"
+            )
+
+
+def map_many(
+    tasks: Sequence[BatchTask],
+    *,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    max_nodes: Optional[int] = None,
+    max_seconds: Optional[float] = None,
+    keep_results: bool = True,
+    validate: bool = True,
+) -> List[BatchRecord]:
+    """Route every task, in parallel when it can pay off.
+
+    Args:
+        tasks: Work items; results come back in this order.
+        max_workers: Pool size; ``None`` means the CPU count.  A resolved
+            value of 1 executes in-process without a pool.
+        chunk_size: Tasks per pool submission; ``None`` picks a size that
+            gives each worker ~4 chunks for load balancing.
+        max_nodes: Optional per-task node budget, applied to mappers that
+            have a ``max_nodes`` attribute (the exact search).
+        max_seconds: Optional per-task wall-clock budget, likewise.
+        keep_results: Attach the full :class:`MappingResult` to each
+            record.  Turn off for large sweeps where only depth/stats
+            matter — results are the bulk of the pickled payload.
+        validate: Structurally verify each schedule in the worker.
+
+    Returns:
+        One :class:`BatchRecord` per task, submission-ordered.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    workers = _default_workers() if max_workers is None else max_workers
+    if workers <= 1:
+        return [
+            _run_task(task, max_nodes, max_seconds, keep_results, validate)
+            for task in tasks
+        ]
+
+    _reject_unpicklable_telemetry(tasks)
+    if chunk_size is None:
+        chunk_size = max(1, len(tasks) // (workers * 4) or 1)
+    chunks = [
+        tasks[i: i + chunk_size] for i in range(0, len(tasks), chunk_size)
+    ]
+    records: List[BatchRecord] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _run_chunk, chunk, max_nodes, max_seconds, keep_results,
+                validate,
+            )
+            for chunk in chunks
+        ]
+        for chunk, future in zip(chunks, futures):
+            try:
+                records.extend(future.result())
+            except Exception as exc:  # worker process died (or pickle blew)
+                records.extend(
+                    BatchRecord(
+                        label=task.label,
+                        ok=False,
+                        error=f"worker failed: {type(exc).__name__}: {exc}",
+                    )
+                    for task in chunk
+                )
+    return records
+
+
+def summarize(records: Sequence[BatchRecord]) -> Dict[str, float]:
+    """Aggregate counters over a batch (for logs and JSON reports)."""
+    done = [r for r in records if r.ok]
+    return {
+        "tasks": len(records),
+        "succeeded": len(done),
+        "failed": len(records) - len(done),
+        "total_seconds": sum(r.seconds for r in records),
+        "total_nodes_expanded": sum(
+            int(r.stats.get("nodes_expanded", 0)) for r in records
+        ),
+    }

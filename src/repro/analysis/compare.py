@@ -119,6 +119,7 @@ def compare_mappers(
     latency: Optional[LatencyModel] = None,
     noise: NoiseModel = NoiseModel(),
     simulate_up_to: int = 10,
+    max_workers: int = 1,
 ) -> ComparisonReport:
     """Route ``circuit`` with every mapper and verify all results.
 
@@ -131,6 +132,11 @@ def compare_mappers(
         noise: Noise model for the fidelity estimates.
         simulate_up_to: Run the state-vector semantic check when the
             architecture has at most this many qubits.
+        max_workers: Route the mappers through
+            :func:`repro.analysis.batch.map_many` with this many worker
+            processes when > 1.  A mapper failure then surfaces as a
+            ``RuntimeError`` naming the mapper instead of an exception
+            from inside ``map()``.
 
     Returns:
         A verified :class:`ComparisonReport`.
@@ -142,11 +148,34 @@ def compare_mappers(
         coupling=coupling,
         ideal_depth=circuit.depth(latency),
     )
-    for label, mapper in mappers:
-        start = time.perf_counter()
-        result = mapper.map(circuit)
-        elapsed = time.perf_counter() - start
-        validate_result(result)
+    if max_workers > 1:
+        from .batch import BatchTask, map_many
+
+        records = map_many(
+            [
+                BatchTask(label=label, circuit=circuit, mapper=mapper)
+                for label, mapper in mappers
+            ],
+            max_workers=max_workers,
+        )
+        outcomes = [(rec.label, rec) for rec in records]
+    else:
+        outcomes = []
+        for label, mapper in mappers:
+            start = time.perf_counter()
+            result = mapper.map(circuit)
+            elapsed = time.perf_counter() - start
+            validate_result(result)
+            outcomes.append(
+                (label, _InlineOutcome(result=result, seconds=elapsed))
+            )
+
+    for label, outcome in outcomes:
+        result = outcome.result
+        if result is None:
+            raise RuntimeError(
+                f"mapper {label!r} failed: {getattr(outcome, 'error', '?')}"
+            )
         if coupling.num_qubits <= simulate_up_to:
             from ..verify.simulator import assert_semantically_equivalent
 
@@ -158,8 +187,16 @@ def compare_mappers(
             MapperComparison(
                 label=label,
                 result=result,
-                seconds=elapsed,
+                seconds=outcome.seconds,
                 fidelity=estimate_fidelity(result, noise),
             )
         )
     return report
+
+
+@dataclass
+class _InlineOutcome:
+    """Sequential-path stand-in for a :class:`~.batch.BatchRecord`."""
+
+    result: MappingResult
+    seconds: float

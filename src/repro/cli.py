@@ -172,6 +172,103 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _cmd_map_batch(args) -> int:
+    import glob as _glob
+    import json
+    import os
+
+    from .analysis.batch import BatchTask, map_many, summarize
+    from .obs.schema import REQUIRED_STAT_KEYS, STAT_SECONDS, stats_row
+
+    coupling = by_name(args.arch)
+    latency = _LATENCIES[args.latency]
+    paths = sorted(
+        _glob.glob(os.path.join(args.dir, args.glob))
+    )
+    if not paths:
+        print(
+            f"error: no files match {args.glob!r} in {args.dir}",
+            file=sys.stderr,
+        )
+        return 1
+
+    tasks = []
+    for path in paths:
+        label = os.path.splitext(os.path.basename(path))[0]
+        try:
+            circuit = load_qasm_file(path)
+        except Exception as exc:
+            print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+            return 1
+        tasks.append(
+            BatchTask(
+                label=label,
+                circuit=circuit,
+                mapper=_build_mapper(args.mapper, coupling, latency, args),
+            )
+        )
+
+    records = map_many(
+        tasks,
+        max_workers=args.workers,
+        max_nodes=args.max_nodes,
+        max_seconds=args.budget,
+        keep_results=False,
+    )
+
+    columns = [k for k in REQUIRED_STAT_KEYS if k != "mapper"]
+    header = f"{'circuit':24s} {'ok':>3} {'depth':>6} {'swaps':>6}" + "".join(
+        f" {column:>20}" for column in columns
+    )
+    print(header)
+    for rec in records:
+        row = stats_row(rec.stats)
+        cells = ""
+        for column in columns:
+            value = row.get(column)
+            if value is None:
+                cells += f" {'—':>20}"
+            elif column == STAT_SECONDS:
+                cells += f" {value:>20.4f}"
+            else:
+                cells += f" {value:>20}"
+        depth = "—" if rec.depth is None else rec.depth
+        swaps = "—" if rec.swaps is None else rec.swaps
+        print(
+            f"{rec.label:24s} {'yes' if rec.ok else 'NO':>3} {depth:>6} "
+            f"{swaps:>6}{cells}"
+        )
+        if rec.error:
+            print(f"{'':24s}  ^ {rec.error}")
+    totals = summarize(records)
+    print(
+        f"\n{totals['succeeded']}/{totals['tasks']} mapped, "
+        f"{totals['total_nodes_expanded']} nodes expanded, "
+        f"{totals['total_seconds']:.2f}s total mapping time"
+    )
+
+    if args.json_out:
+        payload = {
+            "summary": totals,
+            "records": [
+                {
+                    "label": rec.label,
+                    "ok": rec.ok,
+                    "depth": rec.depth,
+                    "swaps": rec.swaps,
+                    "seconds": rec.seconds,
+                    "error": rec.error,
+                    "stats": stats_row(rec.stats) if rec.stats else None,
+                }
+                for rec in records
+            ],
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote batch report to {args.json_out}")
+    return 0 if all(rec.ok for rec in records) else 2
+
+
 def _cmd_benchmarks(_args) -> int:
     for name in benchmark_names():
         print(name)
@@ -230,6 +327,45 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--progress-every", type=int, default=500,
                          help="expansions between progress events")
     map_cmd.set_defaults(func=_cmd_map)
+
+    batch_cmd = sub.add_parser(
+        "map-batch",
+        help="route a directory of QASM files across a process pool",
+    )
+    batch_cmd.add_argument(
+        "--dir", required=True, help="directory of circuit files"
+    )
+    batch_cmd.add_argument(
+        "--glob", default="*.qasm", help="filename pattern inside --dir"
+    )
+    batch_cmd.add_argument("--arch", required=True, help="architecture name")
+    batch_cmd.add_argument(
+        "--mapper",
+        default="heuristic",
+        choices=["optimal", "heuristic", "sabre", "zulehner", "olsq",
+                 "trivial"],
+    )
+    batch_cmd.add_argument(
+        "--latency", default="unit", choices=sorted(_LATENCIES)
+    )
+    batch_cmd.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: CPU count; 1 = in-process)",
+    )
+    batch_cmd.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="per-circuit node budget for the exact search",
+    )
+    batch_cmd.add_argument("--budget", type=float, default=None,
+                           help="per-circuit wall-clock budget (s)")
+    batch_cmd.add_argument(
+        "--search-initial", action="store_true",
+        help="optimal mode 2: search the initial mapping too",
+    )
+    batch_cmd.add_argument("--seed", type=int, default=0)
+    batch_cmd.add_argument("--json-out", default=None,
+                           help="write the per-circuit report as JSON")
+    batch_cmd.set_defaults(func=_cmd_map_batch)
 
     bench_cmd = sub.add_parser("benchmarks", help="list benchmark names")
     bench_cmd.set_defaults(func=_cmd_benchmarks)

@@ -40,19 +40,33 @@ class _Entry:
 def _profile(
     problem: MappingProblem, node: SearchNode
 ) -> Tuple[Tuple[int, ...], Dict[int, int]]:
-    """Per-physical-qubit release times and in-flight gate finish times."""
+    """Per-physical-qubit release times and in-flight gate finish times.
+
+    Cached on the node (``node._profile``): the practical mapper admits
+    the same node against several filter generations, and ``qfree`` is
+    tupled exactly once per node this way (dominance comparisons reuse
+    the stored tuple).
+    """
+    cached = node._profile
+    if cached is not None:
+        return cached
     qfree = [node.time] * problem.num_physical
     gate_finish: Dict[int, int] = {}
     for finish, kind, a, b in node.inflight:
         if kind == K_SWAP:
-            qfree[a] = max(qfree[a], finish)
-            qfree[b] = max(qfree[b], finish)
+            if finish > qfree[a]:
+                qfree[a] = finish
+            if finish > qfree[b]:
+                qfree[b] = finish
         else:
             gate_finish[a] = finish
             for logical in problem.gate_qubits[a]:
                 p = node.pos[logical]
-                qfree[p] = max(qfree[p], finish)
-    return tuple(qfree), gate_finish
+                if finish > qfree[p]:
+                    qfree[p] = finish
+    profile = (tuple(qfree), gate_finish)
+    node._profile = profile
+    return profile
 
 
 def _dominates(better: _Entry, worse: _Entry) -> bool:
@@ -66,16 +80,22 @@ def _dominates(better: _Entry, worse: _Entry) -> bool:
     otherwise a completion available under ``worse`` may be pruned under
     ``better`` and optimality is lost.
     """
-    if better.time > worse.time:
+    better_time = better.time
+    worse_time = worse.time
+    if better_time > worse_time:
         return False
-    for p, release in enumerate(better.qfree):
-        if release > worse.qfree[p]:
+    for rb, rw in zip(better.qfree, worse.qfree):
+        if rb > rw:
             return False
-    for gate in better.gate_finish.keys() | worse.gate_finish.keys():
-        finish_better = better.gate_finish.get(gate, better.time)
-        finish_worse = worse.gate_finish.get(gate, worse.time)
-        if finish_better > finish_worse:
-            return False
+    bf = better.gate_finish
+    wf = worse.gate_finish
+    if bf or wf:
+        for gate, finish_better in bf.items():
+            if finish_better > wf.get(gate, worse_time):
+                return False
+        for gate, finish_worse in wf.items():
+            if gate not in bf and better_time > finish_worse:
+                return False
     if not better.node.last_swaps <= worse.node.last_swaps:
         return False
     if not better.node.prev_startable <= worse.node.prev_startable:
@@ -111,22 +131,33 @@ class StateFilter:
             self._m_equivalent = metrics.counter("filter.equivalent_dropped")
             self._m_dominated = metrics.counter("filter.dominated_dropped")
             self._m_killed = metrics.counter("filter.killed")
+            self._m_group_size = metrics.histogram("filter.group_size")
         else:
             self._m_equivalent = None
             self._m_dominated = None
             self._m_killed = None
+            self._m_group_size = None
 
     def admit(self, node: SearchNode) -> bool:
-        """Consider ``node``; True if it should enter the priority queue."""
+        """Consider ``node``; True if it should enter the priority queue.
+
+        Every scan over a group compacts it: dead entries (killed nodes,
+        and dropped ones in ``live_only`` mode) are written back out of
+        the bucket even when the newcomer is rejected early, so hot
+        buckets no longer accumulate corpses between :meth:`compact`
+        calls.
+        """
         key = node.filter_key()
         qfree, gate_finish = _profile(self._problem, node)
         entry = _Entry(node.time, qfree, gate_finish, node)
         bucket = self._table.get(key)
         if bucket is None:
             self._table[key] = [entry]
+            if self._m_group_size is not None:
+                self._m_group_size.observe(1)
             return True
         survivors: List[_Entry] = []
-        for existing in bucket:
+        for index, existing in enumerate(bucket):
             if existing.node.killed:
                 continue
             if self._live_only and existing.node.dropped:
@@ -140,6 +171,10 @@ class StateFilter:
                 self.equivalent_dropped += 1
                 if self._m_equivalent is not None:
                     self._m_equivalent.inc()
+                # Write back the compacted prefix so dead entries found
+                # during this scan don't linger on the bucket.
+                if len(survivors) < index:
+                    self._table[key] = survivors + bucket[index:]
                 return False
             # Dominance may only be exercised by *open* nodes (still in
             # the priority queue) — the paper compares expanded nodes "to
@@ -156,6 +191,8 @@ class StateFilter:
                 self.dominated_dropped += 1
                 if self._m_dominated is not None:
                     self._m_dominated.inc()
+                if len(survivors) < index:
+                    self._table[key] = survivors + bucket[index:]
                 return False
             survivors.append(existing)
         kept: List[_Entry] = []
@@ -173,12 +210,24 @@ class StateFilter:
                 kept.append(existing)
         kept.append(entry)
         self._table[key] = kept
+        if self._m_group_size is not None:
+            self._m_group_size.observe(len(kept))
         return True
 
     @property
     def num_states(self) -> int:
         """Number of distinct effective states seen so far."""
         return len(self._table)
+
+    def release(self) -> None:
+        """Drop every entry, freeing the node graph they pin.
+
+        Called on search abort so the hundreds of thousands of retained
+        nodes die by reference counting while the cyclic collector is
+        still paused (see ``gcpause``) instead of being walked by the
+        deferred generation-0 scan after the pause lifts.
+        """
+        self._table = {}
 
     def compact(self) -> None:
         """Drop entries whose nodes are dead (killed or dropped).

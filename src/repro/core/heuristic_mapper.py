@@ -42,7 +42,8 @@ from .expander import (
     frontier_gates,
 )
 from .filters import StateFilter
-from .heuristic import heuristic_cost
+from .gcpause import pause_gc
+from .heuristic import HeuristicMemo, heuristic_cost
 from .problem import MappingProblem
 from .result import MappingResult, ScheduledOp
 from .state import SearchNode
@@ -60,8 +61,10 @@ def _frontier_distance(problem: MappingProblem, node: SearchNode) -> int:
     starts no original gate, so multi-SWAP routing chains receive a fresh
     expansion budget at every productive step.
     """
+    dist_flat = problem.dist_flat
+    num_physical = problem.num_physical
     return sum(
-        problem.dist[p1][p2] - 1
+        dist_flat[p1 * num_physical + p2] - 1
         for p1, p2 in _blocked_frontier_pairs(problem, node)
     )
 
@@ -96,6 +99,9 @@ class HeuristicMapper:
             search dead-ends it is automatically retried with a larger
             cap.  This plays the role the paper's queue trimming plays at
             C++ speeds, scaled to a Python budget.
+        memoize: Cache heuristic evaluations per run (sound because the
+            window is fixed for the whole run); pure evaluation cache,
+            never changes scores or node counts.
         telemetry: Optional observability context; ``None`` runs the
             uninstrumented fast path.
     """
@@ -115,6 +121,7 @@ class HeuristicMapper:
         window: int = 10,
         greediness: float = 1.5,
         max_expansions_per_level: int = 512,
+        memoize: bool = True,
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         if queue_trim >= queue_cap:
@@ -134,6 +141,7 @@ class HeuristicMapper:
         self.window = window
         self.greediness = greediness
         self.max_expansions_per_level = max_expansions_per_level
+        self.memoize = memoize
         self.telemetry = telemetry
 
     # ------------------------------------------------------------------
@@ -170,7 +178,10 @@ class HeuristicMapper:
     ) -> MappingResult:
         tele = resolve(self.telemetry)
         if not tele.enabled:
-            return self._run_loop(problem, initial_mapping, level_cap, tele)
+            # Acyclic search graph: the cyclic collector is pure overhead
+            # during the loop (see ``gcpause``).
+            with pause_gc():
+                return self._run_loop(problem, initial_mapping, level_cap, tele)
         with tele.tracer.span(
             SPAN_SEARCH,
             mapper=self.mapper_name,
@@ -179,7 +190,10 @@ class HeuristicMapper:
             arch=problem.coupling.name,
             level_cap=level_cap,
         ):
-            result = self._run_loop(problem, initial_mapping, level_cap, tele)
+            with pause_gc():
+                result = self._run_loop(
+                    problem, initial_mapping, level_cap, tele
+                )
         tele.emit_metrics_snapshot(label="search_complete")
         return result
 
@@ -204,6 +218,10 @@ class HeuristicMapper:
         def priority(node: SearchNode) -> Tuple[int, int, int]:
             return (node.f, -node.started, next(counter))
 
+        memo = None
+        if self.memoize:
+            memo = HeuristicMemo(metrics=tele.metrics if enabled else None)
+
         if enabled:
             metrics = tele.metrics
             m_expanded = metrics.counter("search.nodes_expanded")
@@ -216,7 +234,7 @@ class HeuristicMapper:
             )
             progress_every = tele.progress_every
 
-        root.h = heuristic_cost(problem, root, window=self.window)
+        root.h = heuristic_cost(problem, root, window=self.window, memo=memo)
         root.f = root.time + int(self.greediness * root.h)
         heap: List[Tuple[int, int, int, SearchNode]] = [
             (*priority(root), root)
@@ -233,6 +251,10 @@ class HeuristicMapper:
             if node.killed:
                 continue
             if node.is_terminal(problem.num_gates):
+                extra = {}
+                if memo is not None:
+                    extra["memo_hits"] = memo.hits
+                    extra["memo_misses"] = memo.misses
                 return self._reconstruct(
                     problem,
                     node,
@@ -244,6 +266,7 @@ class HeuristicMapper:
                         filtered_dominated=state_filter.dominated_dropped,
                         seconds=_time.perf_counter() - start_clock,
                         queue_trims=trims,
+                        **extra,
                     ),
                 )
             level = (node.started, _frontier_distance(problem, node))
@@ -263,7 +286,7 @@ class HeuristicMapper:
                 for child in children:
                     self._place_frontier(problem, child)
                     child.h = heuristic_cost(
-                        problem, child, window=self.window
+                        problem, child, window=self.window, memo=memo
                     )
                     child.f = child.time + int(self.greediness * child.h)
                     scored.append(child)
@@ -302,6 +325,7 @@ class HeuristicMapper:
                                 child,
                                 window=self.window,
                                 metrics=metrics,
+                                memo=memo,
                             )
                             m_heuristic_latency.observe(
                                 _time.perf_counter() - t0
@@ -426,6 +450,7 @@ class HeuristicMapper:
         if changed:
             node.pos = tuple(pos)
             node.inv = tuple(inv)
+            node.invalidate_caches()
 
     # ------------------------------------------------------------------
     def _reconstruct(

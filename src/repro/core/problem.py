@@ -31,7 +31,37 @@ class MappingProblem:
             in program order.
         gate_pos: ``gate_pos[g][l]`` is the position of gate ``g`` within
             ``seq[l]``.
-        dist: All-pairs physical shortest-path distances.
+        dist: All-pairs physical shortest-path distances (2-D, row per
+            physical qubit).
+        dist_flat: The same matrix flattened row-major into one tuple;
+            ``dist_flat[p * num_physical + q] == dist[p][q]``.  The search
+            hot paths use this single-index form.
+        gate_l1 / gate_l2: Flat per-gate operand arrays; ``gate_l2[g]`` is
+            ``-1`` for single-qubit gates.  Avoids tuple unpacking in the
+            heuristic's inner loop.
+        gate_p1 / gate_p2: Flat per-gate chain positions of the gate within
+            ``seq[gate_l1[g]]`` / ``seq[gate_l2[g]]`` (``-1`` when absent).
+        gate_next: ``gate_next[g]`` — per-operand successor gate index on
+            each operand's chain (``-1`` past the chain end), aligned with
+            ``gate_qubits[g]``.
+        own2: ``own2[l]`` — the two-qubit gates *owned* by logical ``l``
+            (a gate is owned by its first operand), in program order.
+            Every two-qubit gate appears in exactly one owner list, so the
+            pending two-qubit gates under pointers ``ptr`` are exactly the
+            merge of the per-owner suffixes ``own2[l][own2_start[l][ptr[l]]:]``
+            — already-sorted runs, no set building required.
+        own2_start: ``own2_start[l][p]`` — index into ``own2[l]`` of the
+            first owned gate whose chain position is ``>= p``.
+        single_prefix: ``single_prefix[l][i]`` — total latency of the
+            single-qubit gates among ``seq[l][:i]``.  Because every gate at
+            chain position ``>= ptr[l]`` is pending and two-qubit gates are
+            enumerated explicitly, any chain segment between consecutive
+            pending two-qubit gates is all singles, and its latency is one
+            subtraction of prefix sums.
+        pending_total: ``pending_total[l][p]`` — number of gates owned by
+            ``l`` (counting single-qubit gates, which are owned by their
+            only operand) at chain positions ``>= p``; summing over ``l``
+            counts the distinct pending gates without materializing them.
     """
 
     def __init__(
@@ -81,8 +111,149 @@ class MappingProblem:
             self.suffix_load.append(suffix)
 
         self.dist = coupling.distance_matrix
+        self.dist_flat: Tuple[int, ...] = tuple(
+            d for row in self.dist for d in row
+        )
         self.edges = coupling.edges
         self.neighbors = [coupling.neighbors(p) for p in range(self.num_physical)]
+
+        # Flat per-gate operand/position arrays for the heuristic hot loop.
+        gate_l1, gate_l2, gate_p1, gate_p2 = [], [], [], []
+        for index, qubits in enumerate(self.gate_qubits):
+            l1 = qubits[0]
+            l2 = qubits[1] if len(qubits) > 1 else -1
+            gate_l1.append(l1)
+            gate_l2.append(l2)
+            gate_p1.append(self.gate_pos[index][l1])
+            gate_p2.append(self.gate_pos[index][l2] if l2 >= 0 else -1)
+        self.gate_l1: Tuple[int, ...] = tuple(gate_l1)
+        self.gate_l2: Tuple[int, ...] = tuple(gate_l2)
+        self.gate_p1: Tuple[int, ...] = tuple(gate_p1)
+        self.gate_p2: Tuple[int, ...] = tuple(gate_p2)
+        #: One row per gate for the heuristic's inner loop:
+        #: ``(l1, l2, latency, chain_pos1, chain_pos2)`` — one tuple
+        #: unpack instead of five indexed lookups.
+        self.gate_row: Tuple[Tuple[int, int, int, int, int], ...] = tuple(
+            (gate_l1[g], gate_l2[g], self.gate_latency[g],
+             gate_p1[g], gate_p2[g])
+            for g in range(self.num_gates)
+        )
+        #: True when the circuit contains single-qubit gates; all-two-qubit
+        #: circuits skip the single-run folding bookkeeping entirely.
+        self.has_singles: bool = any(
+            len(qubits) == 1 for qubits in self.gate_qubits
+        )
+        #: Closed-form SWAP-split cache (see ``heuristic._swap_split_delay``),
+        #: keyed ``(d << 28) | (slack1 << 14) | slack2`` — per-problem so the
+        #: constant ``swap_len`` stays out of the key.
+        self.split_lut: Dict[int, int] = {}
+        #: ``ptr -> tuple of gate_row entries`` cache for the heuristic:
+        #: the pending two-qubit gates (and their operand rows) depend
+        #: only on the pointer vector, which far fewer distinct values
+        #: take than there are generated nodes.
+        self._pending_rows: Dict[Tuple[int, ...], Tuple] = {}
+
+        # Per-gate successors along each operand chain.
+        self.gate_next: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                self.seq[q][self.gate_pos[index][q] + 1]
+                if self.gate_pos[index][q] + 1 < len(self.seq[q])
+                else -1
+                for q in qubits
+            )
+            for index, qubits in enumerate(self.gate_qubits)
+        )
+
+        # Owner-run structures: every two-qubit gate is owned by its first
+        # operand, single-qubit gates by their only operand.  The pending
+        # set under any pointer vector is then a union of per-owner chain
+        # suffixes — disjoint, precomputed, and already in program order.
+        self.own2: List[Tuple[int, ...]] = []
+        self.own2_start: List[Tuple[int, ...]] = []
+        self.single_prefix: List[Tuple[int, ...]] = []
+        self.pending_total: List[Tuple[int, ...]] = []
+        owned2_pos: List[List[Tuple[int, int]]] = [
+            [] for _ in range(self.num_logical)
+        ]
+        owned_any: List[List[int]] = [[] for _ in range(self.num_logical)]
+        for index, qubits in enumerate(self.gate_qubits):
+            owner = qubits[0]
+            owned_any[owner].append(self.gate_pos[index][owner])
+            if len(qubits) > 1:
+                owned2_pos[owner].append((self.gate_pos[index][owner], index))
+        for logical in range(self.num_logical):
+            chain = self.seq[logical]
+            chain_len = len(chain)
+            pairs = owned2_pos[logical]  # built in program order
+            self.own2.append(tuple(g for _p, g in pairs))
+            start = [0] * (chain_len + 1)
+            cursor = 0
+            for p in range(chain_len + 1):
+                while cursor < len(pairs) and pairs[cursor][0] < p:
+                    cursor += 1
+                start[p] = cursor
+            self.own2_start.append(tuple(start))
+            prefix = [0] * (chain_len + 1)
+            for i, gate in enumerate(chain):
+                lat = self.gate_latency[gate]
+                prefix[i + 1] = prefix[i] + (
+                    lat if len(self.gate_qubits[gate]) == 1 else 0
+                )
+            self.single_prefix.append(tuple(prefix))
+            owned_positions = owned_any[logical]
+            total = [0] * (chain_len + 1)
+            cursor = 0
+            for p in range(chain_len + 1):
+                while cursor < len(owned_positions) and owned_positions[cursor] < p:
+                    cursor += 1
+                total[p] = len(owned_positions) - cursor
+            self.pending_total.append(tuple(total))
+
+    def pending_two_qubit_gates(self, ptr: Tuple[int, ...]) -> List[int]:
+        """Pending (unstarted) two-qubit gate indices, in program order.
+
+        Merges the precomputed per-owner suffix runs instead of building
+        and sorting a set: each run is ascending and the runs are
+        disjoint, so one Timsort pass over the concatenation is a pure
+        run merge.
+        """
+        pending: List[int] = []
+        own2 = self.own2
+        own2_start = self.own2_start
+        for logical in range(self.num_logical):
+            start = own2_start[logical][ptr[logical]]
+            run = own2[logical]
+            if start < len(run):
+                pending.extend(run[start:])
+        pending.sort()
+        return pending
+
+    def pending_rows(self, ptr: Tuple[int, ...]) -> Tuple:
+        """``gate_row`` entries of the pending two-qubit gates under ``ptr``.
+
+        Program order, cached per pointer vector: the heuristic evaluates
+        many nodes that share scheduling progress but differ in mapping,
+        and the pending enumeration only depends on ``ptr``.  The cache
+        is capped (32768 vectors) as a safety valve for enormous runs.
+        """
+        cache = self._pending_rows
+        rows = cache.get(ptr)
+        if rows is None:
+            gate_row = self.gate_row
+            rows = tuple(
+                gate_row[g] for g in self.pending_two_qubit_gates(ptr)
+            )
+            if len(cache) < 32768:
+                cache[ptr] = rows
+        return rows
+
+    def num_pending_gates(self, ptr: Tuple[int, ...]) -> int:
+        """Distinct pending gates under ``ptr`` (singles included), O(L)."""
+        pending_total = self.pending_total
+        return sum(
+            pending_total[logical][ptr[logical]]
+            for logical in range(self.num_logical)
+        )
 
     def ideal_depth(self) -> int:
         """Depth on an all-to-all architecture (cost lower bound)."""

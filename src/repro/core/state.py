@@ -55,6 +55,13 @@ class SearchNode:
             open list (trim or expansion); dropped nodes no longer count
             for equivalence/dominance filtering, so bounded-queue searches
             cannot starve themselves by blacklisting trimmed states.
+
+    Derived-value caches (lazy, hot-path): ``_eff`` memoizes
+    :meth:`mapping_after_swaps`, ``_fkey`` the filter key, ``_profile``
+    the per-physical-qubit release profile the state filter computes, and
+    ``_frontier`` the dependency-ready gate list.  All are invalidated by
+    :meth:`invalidate_caches` when the practical mapper mutates ``pos`` /
+    ``inv`` in place during on-the-fly placement.
     """
 
     __slots__ = (
@@ -73,6 +80,10 @@ class SearchNode:
         "f",
         "killed",
         "dropped",
+        "_eff",
+        "_fkey",
+        "_profile",
+        "_frontier",
     )
 
     def __init__(
@@ -104,6 +115,18 @@ class SearchNode:
         self.f = 0
         self.killed = False
         self.dropped = False
+        self._eff = None
+        self._fkey = None
+        self._profile = None
+        self._frontier = None
+
+    def invalidate_caches(self) -> None:
+        """Drop derived-value caches after in-place ``pos``/``inv`` edits."""
+        self._eff = None
+        self._fkey = None
+        self._profile = None
+        # _frontier depends only on ptr/seq, which are never mutated in
+        # place, so it deliberately survives placement updates.
 
     @property
     def in_prefix(self) -> bool:
@@ -137,8 +160,16 @@ class SearchNode:
         """(pos, inv) assuming all in-flight SWAPs have taken effect.
 
         This is the mapping the filter hashes on (Section 4.2, Filter) and
-        the heuristic's π_rem (Section 5.1).
+        the heuristic's π_rem (Section 5.1).  Computed once per node and
+        cached — the filter key and the heuristic memo key share it.
         """
+        eff = self._eff
+        if eff is not None:
+            return eff
+        if not self.inflight:
+            eff = (self.pos, self.inv)
+            self._eff = eff
+            return eff
         pos = list(self.pos)
         inv = list(self.inv)
         for _finish, kind, a, b in self.inflight:
@@ -149,12 +180,18 @@ class SearchNode:
                     pos[l1] = b
                 if l2 >= 0:
                     pos[l2] = a
-        return tuple(pos), tuple(inv)
+        eff = (tuple(pos), tuple(inv))
+        self._eff = eff
+        return eff
 
     def filter_key(self) -> Tuple:
-        """Hash key for equivalence/dominance grouping."""
-        _pos, inv = self.mapping_after_swaps()
-        return (inv, self.ptr)
+        """Hash key for equivalence/dominance grouping (cached)."""
+        key = self._fkey
+        if key is None:
+            _pos, inv = self.mapping_after_swaps()
+            key = (inv, self.ptr)
+            self._fkey = key
+        return key
 
     def path_actions(self):
         """Yield ``(decision_time, actions, node)`` from the root down."""

@@ -1,0 +1,255 @@
+"""Tests for the parallel batch runner (``repro.analysis.batch``)."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.batch import BatchRecord, BatchTask, map_many, summarize
+from repro.arch import lnn
+from repro.circuit import to_qasm, uniform_latency
+from repro.circuit.generators import qft_skeleton, random_circuit
+from repro.core import HeuristicMapper, OptimalMapper
+from repro.obs import REQUIRED_STAT_KEYS
+
+
+class ExplodingMapper:
+    """A mapper whose ``map`` raises — must be picklable (module level)."""
+
+    def map(self, circuit):
+        raise RuntimeError("boom")
+
+
+class WorkerKillingMapper:
+    """A mapper that kills its worker process outright."""
+
+    def map(self, circuit):
+        os._exit(13)
+
+
+def _tasks(count=4, num_qubits=4):
+    return [
+        BatchTask(
+            label=f"rand-{seed}",
+            circuit=random_circuit(num_qubits, 6, seed=seed),
+            mapper=OptimalMapper(lnn(num_qubits), uniform_latency(1, 3)),
+        )
+        for seed in range(count)
+    ]
+
+
+class TestInProcessPath:
+    def test_max_workers_one_uses_no_pool(self, monkeypatch):
+        from repro.analysis import batch as batch_mod
+
+        def forbid(*args, **kwargs):
+            raise AssertionError("pool must not be created for 1 worker")
+
+        monkeypatch.setattr(batch_mod, "ProcessPoolExecutor", forbid)
+        records = map_many(_tasks(3), max_workers=1)
+        assert [r.ok for r in records] == [True, True, True]
+
+    def test_records_preserve_order_and_schema(self):
+        records = map_many(_tasks(4), max_workers=1)
+        assert [r.label for r in records] == [
+            "rand-0", "rand-1", "rand-2", "rand-3"
+        ]
+        for rec in records:
+            assert rec.ok and rec.depth is not None and rec.swaps is not None
+            for key in REQUIRED_STAT_KEYS:
+                assert key in rec.stats
+
+    def test_results_attached_and_detachable(self):
+        tasks = _tasks(2)
+        with_results = map_many(tasks, max_workers=1, keep_results=True)
+        without = map_many(tasks, max_workers=1, keep_results=False)
+        assert all(r.result is not None for r in with_results)
+        assert all(r.result is None for r in without)
+        assert [r.depth for r in with_results] == [r.depth for r in without]
+
+    def test_budget_propagation_contains_abort(self):
+        tasks = [
+            BatchTask(
+                label="too-big",
+                circuit=qft_skeleton(5),
+                mapper=OptimalMapper(lnn(5), uniform_latency(1, 3)),
+            )
+        ]
+        records = map_many(tasks, max_workers=1, max_nodes=5)
+        (rec,) = records
+        assert not rec.ok
+        assert "budget exceeded" in rec.error
+        assert rec.stats["budget_reason"] == "max_nodes"
+        assert rec.stats["nodes_expanded"] <= 5
+        # and the caller's mapper was not mutated by the override
+        assert tasks[0].mapper.max_nodes is None
+
+    def test_mapper_exception_contained_in_process(self):
+        tasks = [
+            BatchTask("ok", random_circuit(4, 5, seed=1),
+                      OptimalMapper(lnn(4), uniform_latency(1, 3))),
+            BatchTask("bad", random_circuit(4, 5, seed=2),
+                      ExplodingMapper()),
+        ]
+        records = map_many(tasks, max_workers=1)
+        assert records[0].ok
+        assert not records[1].ok
+        assert "RuntimeError: boom" in records[1].error
+
+    def test_empty_batch(self):
+        assert map_many([]) == []
+
+    def test_summarize(self):
+        records = [
+            BatchRecord(label="a", ok=True, seconds=1.0,
+                        stats={"nodes_expanded": 10}),
+            BatchRecord(label="b", ok=False, seconds=0.5, error="x"),
+        ]
+        totals = summarize(records)
+        assert totals["tasks"] == 2
+        assert totals["succeeded"] == 1
+        assert totals["failed"] == 1
+        assert totals["total_nodes_expanded"] == 10
+
+
+class TestPoolPath:
+    def test_ordering_across_pool(self):
+        records = map_many(_tasks(6), max_workers=2, chunk_size=1)
+        assert [r.label for r in records] == [
+            f"rand-{i}" for i in range(6)
+        ]
+        assert all(r.ok for r in records)
+
+    def test_pool_matches_in_process(self):
+        tasks = _tasks(4)
+        pooled = map_many(tasks, max_workers=2, keep_results=False)
+        inproc = map_many(tasks, max_workers=1, keep_results=False)
+        assert [(r.label, r.depth, r.swaps) for r in pooled] == [
+            (r.label, r.depth, r.swaps) for r in inproc
+        ]
+        assert [
+            r.stats["nodes_expanded"] for r in pooled
+        ] == [r.stats["nodes_expanded"] for r in inproc]
+
+    def test_mapper_exception_contained_in_worker(self):
+        tasks = [
+            BatchTask("bad", random_circuit(4, 5, seed=2),
+                      ExplodingMapper()),
+            BatchTask("ok", random_circuit(4, 5, seed=1),
+                      OptimalMapper(lnn(4), uniform_latency(1, 3))),
+        ]
+        records = map_many(tasks, max_workers=2, chunk_size=1)
+        assert not records[0].ok
+        assert "RuntimeError: boom" in records[0].error
+        assert records[1].ok
+
+    def test_worker_crash_becomes_error_record(self):
+        tasks = [
+            BatchTask("crash", random_circuit(4, 5, seed=3),
+                      WorkerKillingMapper()),
+            BatchTask("ok", random_circuit(4, 5, seed=1),
+                      OptimalMapper(lnn(4), uniform_latency(1, 3))),
+        ]
+        records = map_many(tasks, max_workers=2, chunk_size=1)
+        assert [r.label for r in records] == ["crash", "ok"]
+        assert not records[0].ok
+        assert "worker failed" in records[0].error
+
+    def test_budget_propagation_across_pool(self):
+        tasks = [
+            BatchTask("too-big", qft_skeleton(5),
+                      OptimalMapper(lnn(5), uniform_latency(1, 3)))
+        ]
+        records = map_many(tasks, max_workers=2, max_nodes=5)
+        (rec,) = records
+        assert not rec.ok
+        assert rec.stats["budget_reason"] == "max_nodes"
+
+    def test_live_telemetry_rejected_up_front(self):
+        from repro.obs import Telemetry
+
+        tasks = [
+            BatchTask(
+                "instrumented",
+                random_circuit(4, 5, seed=1),
+                OptimalMapper(
+                    lnn(4), uniform_latency(1, 3),
+                    telemetry=Telemetry(trace=True),
+                ),
+            )
+        ]
+        with pytest.raises(ValueError, match="telemetry"):
+            map_many(tasks, max_workers=2)
+
+
+class TestCompareIntegration:
+    def test_compare_mappers_parallel_matches_sequential(self):
+        from repro.analysis import compare_mappers
+
+        circuit = qft_skeleton(4)
+        arch = lnn(4)
+
+        def mappers():
+            return [
+                ("optimal", OptimalMapper(arch, uniform_latency(1, 3))),
+                ("heuristic", HeuristicMapper(arch, uniform_latency(1, 3))),
+            ]
+
+        sequential = compare_mappers(circuit, arch, mappers())
+        parallel = compare_mappers(
+            circuit, arch, mappers(), max_workers=2
+        )
+        assert [
+            (e.label, e.depth, e.swaps) for e in sequential.entries
+        ] == [(e.label, e.depth, e.swaps) for e in parallel.entries]
+
+
+class TestMapBatchCli:
+    @pytest.fixture()
+    def qasm_dir(self, tmp_path):
+        for name, circ in [
+            ("a_qft4", qft_skeleton(4)),
+            ("b_rand4", random_circuit(4, 6, seed=7)),
+        ]:
+            (tmp_path / f"{name}.qasm").write_text(to_qasm(circ))
+        return tmp_path
+
+    def test_map_batch_reports_normalized_stats(self, qasm_dir, tmp_path,
+                                                capsys):
+        from repro.cli import main
+
+        out_json = tmp_path / "report.json"
+        code = main([
+            "map-batch", "--dir", str(qasm_dir), "--arch", "lnn-4",
+            "--mapper", "optimal", "--workers", "1",
+            "--json-out", str(out_json),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a_qft4" in out and "b_rand4" in out
+        assert "2/2 mapped" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["summary"]["succeeded"] == 2
+        for record in payload["records"]:
+            assert record["ok"]
+            for key in REQUIRED_STAT_KEYS:
+                assert key in record["stats"]
+
+    def test_map_batch_error_exit_code(self, qasm_dir, capsys):
+        from repro.cli import main
+
+        code = main([
+            "map-batch", "--dir", str(qasm_dir), "--arch", "lnn-4",
+            "--mapper", "optimal", "--workers", "1", "--max-nodes", "2",
+        ])
+        assert code == 2
+        assert "budget exceeded" in capsys.readouterr().out
+
+    def test_map_batch_empty_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "map-batch", "--dir", str(tmp_path), "--arch", "lnn-4",
+        ])
+        assert code == 1
+        assert "no files match" in capsys.readouterr().err

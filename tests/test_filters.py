@@ -137,3 +137,43 @@ class TestDominance:
         node.dropped = True
         filt.compact()
         assert filt.num_states == 1
+
+
+class TestInsertionScanCompaction:
+    """Group lists shed dead entries during admit scans (not just on
+    explicit compact() calls), so killed-heavy groups stay bounded."""
+
+    def test_killed_entries_compacted_on_next_scan(self):
+        prob = problem()
+        filt = StateFilter(prob)
+        # Same group, strictly improving times: each admission kills the
+        # previous entry's node (dominance), and the next scan must
+        # write the dead ones back out instead of accumulating them.
+        for time in (9, 7, 5, 3):
+            node = make_node(prob, time=time, ptr=[1, 1, 0], started=1)
+            assert filt.admit(node)
+        bucket, = filt._table.values()
+        assert len(bucket) == 1  # only the live winner remains
+        assert bucket[0].node.time == 3
+
+    def test_group_size_histogram_observed(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        prob = problem()
+        filt = StateFilter(prob, metrics=metrics)
+        filt.admit(make_node(prob, time=2, ptr=[1, 1, 0], started=1))
+        filt.admit(make_node(prob, time=2))  # different group
+        hist = metrics.histogram("filter.group_size")
+        assert hist.count == 2
+        assert hist.max >= 1
+
+    def test_release_frees_all_groups(self):
+        prob = problem()
+        filt = StateFilter(prob)
+        assert filt.admit(make_node(prob, time=2, ptr=[1, 1, 0], started=1))
+        assert filt.num_states == 1
+        filt.release()
+        assert filt.num_states == 0
+        # Counters survive release (budget aborts report them).
+        assert filt.equivalent_dropped == 0

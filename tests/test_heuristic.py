@@ -172,3 +172,237 @@ class TestAdmissibility:
             circuit, initial_mapping=[0, 1, 2, 3]
         )
         assert h_root <= optimal.depth
+
+
+class TestOptimizedMatchesReference:
+    """The overhauled heuristic is observably identical to the original.
+
+    ``_heuristic_cost_reference`` is the pre-overhaul formulation kept
+    verbatim as the semantics oracle.  Rather than fabricating node
+    states (easy to get inconsistent), these tests intercept every
+    heuristic evaluation of real searches — which exercises inflight
+    profiles, partial pointers and mode-2 prefix nodes the way the
+    search actually produces them — and compare both implementations.
+    """
+
+    def _check_search(self, monkeypatch, circuit, arch, latency,
+                      swap_aware=True, max_nodes=1500):
+        from repro.core import OptimalMapper, SearchBudgetExceeded
+        from repro.core import astar as astar_mod
+        from repro.core.heuristic import _heuristic_cost_reference
+
+        checked = [0]
+
+        def checking(problem, node, window=None, swap_aware=True,
+                     metrics=None, memo=None):
+            got = heuristic_cost(
+                problem, node, window=window, swap_aware=swap_aware
+            )
+            want = _heuristic_cost_reference(
+                problem, node, window=window, swap_aware=swap_aware
+            )
+            assert got == want, (
+                f"optimized h={got} != reference h={want} at "
+                f"time={node.time} ptr={node.ptr} inflight={node.inflight}"
+            )
+            checked[0] += 1
+            return got
+
+        monkeypatch.setattr(astar_mod, "heuristic_cost", checking)
+        mapper = OptimalMapper(
+            arch, latency, informed=swap_aware, max_nodes=max_nodes
+        )
+        try:
+            mapper.map(
+                circuit, initial_mapping=list(range(arch.num_qubits))
+            )
+        except SearchBudgetExceeded:
+            pass
+        assert checked[0] > 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits_on_lnn(self, seed, monkeypatch):
+        from repro.circuit.generators import random_circuit
+
+        circuit = random_circuit(5, 10, two_qubit_fraction=0.8, seed=seed)
+        self._check_search(
+            monkeypatch, circuit, lnn(5), uniform_latency(1, 3)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_on_grid(self, seed, monkeypatch):
+        from repro.arch import grid
+        from repro.circuit.generators import random_circuit
+
+        circuit = random_circuit(6, 9, two_qubit_fraction=0.7, seed=seed)
+        self._check_search(
+            monkeypatch, circuit, grid(2, 3), uniform_latency(1, 2)
+        )
+
+    def test_qft_uninformed_mode(self, monkeypatch):
+        from repro.circuit.generators import qft_skeleton
+
+        self._check_search(
+            monkeypatch, qft_skeleton(4), lnn(4), uniform_latency(1, 3),
+            swap_aware=False,
+        )
+
+    @pytest.mark.parametrize("window", [1, 2, 3])
+    def test_windowed_practical_search(self, window, monkeypatch):
+        """The practical mapper's truncated heuristic matches too."""
+        from repro.circuit.generators import qft_skeleton
+        from repro.core import HeuristicMapper
+        from repro.core import heuristic_mapper as hm_mod
+        from repro.core.heuristic import _heuristic_cost_reference
+
+        checked = [0]
+
+        def checking(problem, node, window=None, swap_aware=True,
+                     metrics=None, memo=None):
+            got = heuristic_cost(
+                problem, node, window=window, swap_aware=swap_aware
+            )
+            want = _heuristic_cost_reference(
+                problem, node, window=window, swap_aware=swap_aware
+            )
+            assert got == want
+            checked[0] += 1
+            return got
+
+        monkeypatch.setattr(hm_mod, "heuristic_cost", checking)
+        mapper = HeuristicMapper(
+            lnn(5), uniform_latency(1, 3), window=window
+        )
+        mapper.map(qft_skeleton(5), initial_mapping=list(range(5)))
+        assert checked[0] > 0
+
+
+class TestMemoizationTransparency:
+    """The memo may only change speed, never the search trajectory."""
+
+    CASES = [
+        ("qft5", 5, (1, 3)),
+        ("qft4", 4, (1, 3)),
+        ("rand5", 5, (1, 1)),
+    ]
+
+    @pytest.mark.parametrize("name,n,lat", CASES)
+    def test_exact_search_identical_counts(self, name, n, lat):
+        from repro.circuit.generators import qft_skeleton, random_circuit
+        from repro.core import OptimalMapper
+
+        if name.startswith("qft"):
+            circuit = qft_skeleton(n)
+        else:
+            circuit = random_circuit(n, 10, two_qubit_fraction=0.8, seed=12)
+        runs = {}
+        for memoize in (True, False):
+            mapper = OptimalMapper(
+                lnn(n), uniform_latency(*lat), memoize=memoize
+            )
+            result = mapper.map(circuit, initial_mapping=list(range(n)))
+            runs[memoize] = (
+                result.depth,
+                result.stats["nodes_expanded"],
+                result.stats["nodes_generated"],
+            )
+        assert runs[True] == runs[False]
+
+    def test_practical_search_identical_counts(self):
+        from repro.circuit.generators import qft_skeleton
+        from repro.core import HeuristicMapper
+
+        runs = {}
+        for memoize in (True, False):
+            mapper = HeuristicMapper(
+                lnn(6), uniform_latency(1, 3), memoize=memoize
+            )
+            result = mapper.map(
+                qft_skeleton(6), initial_mapping=list(range(6))
+            )
+            runs[memoize] = (
+                result.depth, result.stats["nodes_expanded"]
+            )
+        assert runs[True] == runs[False]
+
+    def test_memo_counters_populate(self):
+        from repro.circuit.generators import qft_skeleton
+        from repro.core import OptimalMapper
+
+        result = OptimalMapper(lnn(5), uniform_latency(1, 3)).map(
+            qft_skeleton(5), initial_mapping=list(range(5))
+        )
+        assert result.stats["memo_hits"] > 0
+        assert result.stats["memo_misses"] > 0
+
+
+class TestAblationPinsAgainstReference:
+    """Depth and nodes_expanded are bit-identical to a search driven by
+    the kept pre-overhaul heuristic (the PR's semantics-preservation
+    acceptance gate, run over the ablation benchmark circuits)."""
+
+    def _counts(self, circuit, arch, latency, monkeypatch=None,
+                use_reference=False):
+        from repro.core import OptimalMapper
+        from repro.core import astar as astar_mod
+        from repro.core.heuristic import _heuristic_cost_reference
+
+        if use_reference:
+            def reference_only(problem, node, window=None, swap_aware=True,
+                               metrics=None, memo=None):
+                return _heuristic_cost_reference(
+                    problem, node, window=window, swap_aware=swap_aware
+                )
+
+            monkeypatch.setattr(astar_mod, "heuristic_cost", reference_only)
+        mapper = OptimalMapper(arch, latency)
+        result = mapper.map(
+            circuit, initial_mapping=list(range(arch.num_qubits))
+        )
+        return result.depth, result.stats["nodes_expanded"]
+
+    def _ablation_set(self):
+        from repro.circuit.generators import qft_skeleton, random_circuit
+
+        return [
+            ("qft5-u11", qft_skeleton(5), lnn(5), uniform_latency(1, 1)),
+            ("qft5-u13", qft_skeleton(5), lnn(5), uniform_latency(1, 3)),
+            (
+                "rand5-s12",
+                random_circuit(5, 10, two_qubit_fraction=0.8, seed=12),
+                lnn(5),
+                uniform_latency(1, 3),
+            ),
+            ("qft4-u13", qft_skeleton(4), lnn(4), uniform_latency(1, 3)),
+        ]
+
+    def test_counts_match_reference_driven_search(self, monkeypatch):
+        for name, circuit, arch, latency in self._ablation_set():
+            want = self._counts(
+                circuit, arch, latency,
+                monkeypatch=monkeypatch, use_reference=True,
+            )
+            monkeypatch.undo()
+            got = self._counts(circuit, arch, latency)
+            assert got == want, f"{name}: {got} != reference-driven {want}"
+
+
+class TestWindowTruncationMetric:
+    def test_truncation_counted_and_deterministic(self):
+        from repro.obs import MetricsRegistry
+
+        # Five disjoint pending gates, window=1: the cap is 4*window=4,
+        # so one truncation event must be counted and the kept prefix is
+        # the program-order head (deterministic, not set-order).
+        circuit = Circuit(10)
+        for a in range(0, 10, 2):
+            circuit.cx(a, a + 1)
+        problem = MappingProblem(
+            circuit, lnn(10), uniform_latency(1, 3)
+        )
+        metrics = MetricsRegistry()
+        node = make_node(problem)
+        h = heuristic_cost(problem, node, window=1, metrics=metrics)
+        assert metrics.counter("heuristic.window_truncated").value == 1
+        # Still a valid lower bound relative to the untruncated value.
+        assert 0 < h <= heuristic_cost(problem, node)
