@@ -25,19 +25,34 @@ throughput headline (median over iterations); ``memo_hit_rate`` is
 ``baseline.qft8_lnn_exact_nodes_per_sec``, which was measured on the
 commit named in ``baseline.commit`` with this same script's
 methodology.
+
+The report is *append-only over time*: every run adds one entry to the
+``trajectory`` list (``{commit, date, mode, pruning, suites}``) while
+the top-level fields always describe the latest run.  ``--no-prune``
+runs the exact-solve suites with every search-space reduction disabled
+(incumbent bound, active-SWAP restriction, symmetry quotient) — the
+"before" point the pruned default is compared against; ``repro
+bench-trend`` tabulates the whole trajectory.
+
+The ``*_solve`` suites measure mode 2 end-to-end (initial-mapping
+search + routing, the paper's Table-2 configuration); the budgeted
+microbench keeps the reduction-free mode-1 configuration so its
+nodes/sec stays comparable with the recorded pre-overhaul baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import json
 import statistics
+import subprocess
 import sys
 import time
 from typing import Dict, Optional
 
 from repro.analysis.batch import BatchTask, map_many
-from repro.arch import lnn
+from repro.arch import grid, lnn
 from repro.circuit import uniform_latency
 from repro.circuit.generators import qft_skeleton, random_circuit
 from repro.core import HeuristicMapper, OptimalMapper, SearchBudgetExceeded
@@ -69,8 +84,12 @@ def _run_exact_budgeted(num_qubits: int, max_nodes: int,
     circuit = qft_skeleton(num_qubits)
     samples = []
     for _ in range(iterations):
+        # Reduction-free configuration: the recorded baseline predates
+        # the branch-and-bound layer, so the throughput microbench keeps
+        # measuring the raw expansion loop.
         mapper = OptimalMapper(
-            lnn(num_qubits), uniform_latency(1, 3), max_nodes=max_nodes
+            lnn(num_qubits), uniform_latency(1, 3), max_nodes=max_nodes,
+            prune_swaps=False, seed_incumbent=False, reduce_symmetry=False,
         )
         try:
             result = mapper.map(
@@ -92,23 +111,38 @@ def _run_exact_budgeted(num_qubits: int, max_nodes: int,
     }
 
 
-def _run_exact_solve(num_qubits: int, iterations: int) -> Dict:
-    """Exact search run to optimality: end-to-end latency probe."""
+def _run_exact_solve(num_qubits: int, arch, iterations: int,
+                     pruned: bool) -> Dict:
+    """Mode-2 exact solve (placement + routing) run to optimality.
+
+    ``pruned`` toggles the whole search-space-reduction layer at once
+    (incumbent bound, active-SWAP restriction, symmetry quotient); the
+    resulting ``nodes_expanded`` is deterministic either way, which is
+    what lets CI gate on it.
+    """
     circuit = qft_skeleton(num_qubits)
     samples = []
     depth = None
     for _ in range(iterations):
-        mapper = OptimalMapper(lnn(num_qubits), uniform_latency(1, 3))
-        result = mapper.map(circuit, initial_mapping=list(range(num_qubits)))
+        mapper = OptimalMapper(
+            arch, uniform_latency(1, 3), search_initial_mapping=True,
+            prune_swaps=pruned, seed_incumbent=pruned,
+            reduce_symmetry=pruned,
+        )
+        result = mapper.map(circuit)
         depth = result.depth
         samples.append(result.stats)
     rates = [s["nodes_expanded"] / s["seconds"] for s in samples]
     mid = samples[len(samples) // 2]
     return {
-        "kind": "exact-solve",
+        "kind": "exact-solve-mode2",
         "iterations": iterations,
+        "pruned": pruned,
         "depth": depth,
         "nodes_expanded": int(mid["nodes_expanded"]),
+        "pruned_by_bound": int(mid.get("pruned_by_bound", 0)),
+        "symmetry_pruned": int(mid.get("symmetry_pruned", 0)),
+        "swaps_restricted": int(mid.get("swaps_restricted", 0)),
         "wall_seconds": statistics.median(s["seconds"] for s in samples),
         "nodes_per_sec": statistics.median(rates),
         "memo_hit_rate": _memo_hit_rate(mid),
@@ -166,20 +200,68 @@ def _run_batch(num_circuits: int, workers: int) -> Dict:
     }
 
 
-def run_suites(tiny: bool) -> Dict[str, Dict]:
+def run_suites(tiny: bool, pruned: bool = True) -> Dict[str, Dict]:
     if tiny:
         return {
             MICRO_SUITE: _run_exact_budgeted(6, max_nodes=2000, iterations=1),
-            "qft4_lnn_solve": _run_exact_solve(4, iterations=2),
+            "qft4_lnn_solve": _run_exact_solve(
+                4, lnn(4), iterations=2, pruned=pruned
+            ),
             "heuristic_qft6_lnn": _run_heuristic(6, iterations=2),
             "batch_random5": _run_batch(num_circuits=2, workers=1),
         }
     return {
         MICRO_SUITE: _run_exact_budgeted(8, max_nodes=20000, iterations=3),
-        "qft5_lnn_solve": _run_exact_solve(5, iterations=5),
+        "qft5_lnn_solve": _run_exact_solve(
+            5, lnn(5), iterations=3, pruned=pruned
+        ),
+        "qft6_2xn_solve": _run_exact_solve(
+            6, grid(2, 3), iterations=1, pruned=pruned
+        ),
         "heuristic_qft8_lnn": _run_heuristic(8, iterations=3),
         "batch_random5": _run_batch(num_circuits=4, workers=1),
     }
+
+
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
+
+
+def _trajectory_entry(report: Dict) -> Dict:
+    """Compact per-run record appended to the ``trajectory`` list."""
+    return {
+        "commit": _current_commit(),
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "mode": report["mode"],
+        "pruning": report["pruning"],
+        "suites": {
+            name: {
+                key: suite[key]
+                for key in ("kind", "depth", "nodes_expanded",
+                            "nodes_per_sec", "wall_seconds")
+                if key in suite
+            }
+            for name, suite in report["suites"].items()
+        },
+    }
+
+
+def _load_trajectory(path: str) -> list:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    trajectory = previous.get("trajectory")
+    return list(trajectory) if isinstance(trajectory, list) else []
 
 
 def main(argv=None) -> int:
@@ -198,12 +280,18 @@ def main(argv=None) -> int:
         help="exit 1 unless microbench nodes/sec >= X * recorded baseline "
              "(full mode only)",
     )
+    parser.add_argument(
+        "--no-prune", action="store_true",
+        help="run the exact-solve suites with every search-space "
+             "reduction disabled (the 'before' trajectory point)",
+    )
     args = parser.parse_args(argv)
 
-    suites = run_suites(args.tiny)
+    suites = run_suites(args.tiny, pruned=not args.no_prune)
     report = {
-        "schema": "repro.bench_search/1",
+        "schema": "repro.bench_search/2",
         "mode": "tiny" if args.tiny else "full",
+        "pruning": "off" if args.no_prune else "on",
         "baseline": dict(BASELINE),
         "suites": suites,
     }
@@ -212,6 +300,9 @@ def main(argv=None) -> int:
         report["speedup_vs_baseline"] = {
             MICRO_SUITE: current / BASELINE["qft8_lnn_exact_nodes_per_sec"]
         }
+    report["trajectory"] = (
+        _load_trajectory(args.out) + [_trajectory_entry(report)]
+    )
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

@@ -32,14 +32,23 @@ Design constraints worth knowing:
 from __future__ import annotations
 
 import copy
+import dataclasses
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.circuit import Circuit
 from ..core.astar import SearchBudgetExceeded
 from ..core.result import MappingResult
+from ..obs.schema import (
+    MAPPER_TOQM_OPTIMAL,
+    STAT_BUDGET_REASON,
+    STAT_INCUMBENT_DEPTH,
+    STAT_MODE2_ROOTS,
+    base_stats,
+)
 from ..verify.checker import validate_result
 
 
@@ -221,6 +230,305 @@ def map_many(
                     for task in chunk
                 )
     return records
+
+
+# ----------------------------------------------------------------------
+# Parallel mode-2 root fan-out
+# ----------------------------------------------------------------------
+
+#: Counters summed across fan-out root searches into the final stats dict.
+_FANOUT_SUM_KEYS = (
+    "nodes_expanded",
+    "nodes_generated",
+    "filtered_equivalent",
+    "filtered_dominated",
+    "killed",
+    "redundant",
+    "memo_hits",
+    "memo_misses",
+    "pruned_by_bound",
+    "incumbent_updates",
+    "swaps_restricted",
+    "symmetry_pruned",
+)
+
+
+class SharedBound:
+    """Cross-process monotone-min incumbent depth.
+
+    A single ``multiprocessing.Value`` guarded by its own lock; workers
+    :meth:`offer` every improved terminal depth and :meth:`peek` it
+    periodically (every ``_SHARED_BOUND_POLL`` expansions) so one root's
+    incumbent prunes every other root's queue.  The handle itself is not
+    picklable — it reaches pool workers through the pool initializer
+    (inheritance), never through task payloads.
+    """
+
+    _SENTINEL = 1 << 62
+
+    def __init__(self) -> None:
+        self._value = multiprocessing.Value("q", self._SENTINEL)
+
+    def peek(self) -> Optional[int]:
+        """Best depth offered so far, or ``None`` if none yet."""
+        with self._value.get_lock():
+            depth = self._value.value
+        return None if depth >= self._SENTINEL else depth
+
+    def offer(self, depth: int) -> bool:
+        """Lower the bound to ``depth`` if it improves; True when it did."""
+        with self._value.get_lock():
+            if depth < self._value.value:
+                self._value.value = depth
+                return True
+        return False
+
+
+#: Per-process shared-bound handle, installed by the pool initializer.
+_SHARED_BOUND: Optional[SharedBound] = None
+
+
+def _init_mode2_worker(shared: SharedBound) -> None:
+    global _SHARED_BOUND
+    _SHARED_BOUND = shared
+
+
+def _worker_mapper(mapper) -> "object":
+    """A pickle-safe mode-1 copy of ``mapper`` for one fan-out root."""
+    worker = copy.copy(mapper)
+    worker.search_initial_mapping = False
+    worker.seed_incumbent = False  # the fan-out seeds once, in the parent
+    worker.mode2_workers = None
+    worker.telemetry = None
+    worker.shared_incumbent = None  # installed from _SHARED_BOUND in-worker
+    return worker
+
+
+def _run_mode2_root(payload) -> Tuple[int, bool, Optional[MappingResult],
+                                      Dict, Optional[str]]:
+    """Pool worker: exact mode-1 search of one fan-out root mapping.
+
+    Returns ``(index, ok, result, stats, budget_reason)``; an exhausted
+    queue (``budget_reason == "exhausted"``) is the *benign* outcome of a
+    root whose optimum cannot beat the shared incumbent.
+    """
+    mapper, circuit, mapping, index = payload
+    mapper.shared_incumbent = _SHARED_BOUND
+    try:
+        result = mapper.map(circuit, initial_mapping=list(mapping))
+    except SearchBudgetExceeded as exc:
+        stats = dict(exc.partial_stats)
+        return (index, False, None, stats,
+                stats.get(STAT_BUDGET_REASON, "unknown"))
+    return (index, True, result, dict(result.stats), None)
+
+
+def map_mode2_fanout(
+    mapper,
+    circuit: Circuit,
+    max_workers: Optional[int] = None,
+) -> MappingResult:
+    """Mode 2 as a parallel fan-out over deduplicated prefix-root mappings.
+
+    Enumerates every initial mapping the free-SWAP prefix of Section 5.3
+    can reach (:func:`repro.core.astar.enumerate_mode2_mappings`), seeds
+    one heuristic incumbent, then searches each mapping as an independent
+    mode-1 problem — across a process pool when ``max_workers > 1``,
+    sequentially in-process otherwise.  Workers share the best incumbent
+    depth through a :class:`SharedBound`, so a good early root prunes all
+    the others.  The minimum depth over all roots is exactly the serial
+    mode-2 optimum (each root search is itself exact, and the root set
+    is a superset of what the serial prefix expansion reaches).
+
+    Budget semantics: ``mapper.max_nodes`` / ``max_seconds`` apply as a
+    *cumulative* budget over roots on the sequential path and per root on
+    the pool path.  When the budget trips before every root is resolved,
+    the raised :class:`SearchBudgetExceeded` carries ``partial_stats``
+    aggregated across all roots searched so far.  An expired anytime
+    ``deadline`` instead returns the best schedule known with
+    ``optimal=False``.
+
+    Returns:
+        The time-optimal :class:`MappingResult`; its ``stats`` aggregate
+        node/heuristic counters over every root search and record
+        ``mode2_roots`` / ``mode2_workers``.
+    """
+    from ..core.astar import enumerate_mode2_mappings
+    from ..core.heuristic_mapper import incumbent_result
+    from ..core.problem import MappingProblem
+
+    tele = getattr(mapper, "telemetry", None)
+    if tele is not None and getattr(tele, "enabled", False):
+        raise ValueError(
+            "mode-2 fan-out workers cannot carry live telemetry across a "
+            "process boundary; detach telemetry or use mode2_workers=None"
+        )
+
+    start = time.perf_counter()
+    problem = MappingProblem(circuit, mapper.coupling, mapper.latency)
+    sym_counters: Dict[str, int] = {}
+    mappings = enumerate_mode2_mappings(
+        problem,
+        try_swap_free_fast_path=mapper.try_swap_free_fast_path,
+        reduce_symmetry=getattr(mapper, "reduce_symmetry", True),
+        counters=sym_counters,
+    )
+    workers = _default_workers() if max_workers is None else max_workers
+    workers = max(1, min(workers, len(mappings)))
+
+    shared = SharedBound()
+    incumbent: Optional[MappingResult] = None
+    if mapper.seed_incumbent:
+        incumbent = incumbent_result(mapper.coupling, mapper.latency, circuit)
+        if incumbent is not None:
+            shared.offer(incumbent.depth)
+
+    totals: Dict[str, int] = {key: 0 for key in _FANOUT_SUM_KEYS}
+    totals["symmetry_pruned"] = sym_counters.get("symmetry_pruned", 0)
+    roots_searched = 0
+
+    def accumulate(stats: Dict) -> None:
+        for key in _FANOUT_SUM_KEYS:
+            value = stats.get(key)
+            if value is not None:
+                totals[key] += int(value)
+
+    def aggregate_stats(**extra) -> Dict[str, float]:
+        counters = {
+            k: v for k, v in totals.items()
+            if k not in ("nodes_expanded", "nodes_generated",
+                         "filtered_equivalent", "filtered_dominated")
+        }
+        return base_stats(
+            MAPPER_TOQM_OPTIMAL,
+            nodes_expanded=totals["nodes_expanded"],
+            nodes_generated=totals["nodes_generated"],
+            filtered_equivalent=totals["filtered_equivalent"],
+            filtered_dominated=totals["filtered_dominated"],
+            seconds=time.perf_counter() - start,
+            **counters,
+            **{STAT_MODE2_ROOTS: len(mappings),
+               "mode2_roots_searched": roots_searched,
+               "mode2_workers": workers},
+            **extra,
+        )
+
+    outcomes: List[Tuple[int, bool, Optional[MappingResult], Dict,
+                         Optional[str]]] = []
+    if workers <= 1:
+        remaining_nodes = mapper.max_nodes
+        for index, mapping in enumerate(mappings):
+            worker = _worker_mapper(mapper)
+            worker.shared_incumbent = shared
+            if remaining_nodes is not None:
+                worker.max_nodes = max(0, remaining_nodes)
+            if mapper.max_seconds is not None:
+                worker.max_seconds = mapper.max_seconds - (
+                    time.perf_counter() - start
+                )
+            outcome = _run_mode2_root_inproc(worker, circuit, mapping, index)
+            outcomes.append(outcome)
+            roots_searched += 1
+            accumulate(outcome[3])
+            if remaining_nodes is not None:
+                remaining_nodes -= int(outcome[3].get("nodes_expanded", 0))
+            reason = outcome[4]
+            if reason is not None and reason != "exhausted":
+                break  # genuine budget trip: stop burning the budget
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_mode2_worker,
+            initargs=(shared,),
+        ) as pool:
+            template = _worker_mapper(mapper)
+            futures = [
+                pool.submit(
+                    _run_mode2_root, (template, circuit, mapping, index)
+                )
+                for index, mapping in enumerate(mappings)
+            ]
+            for index, future in enumerate(futures):
+                try:
+                    outcome = future.result()
+                except Exception as exc:  # noqa: BLE001 - dead worker
+                    outcome = (
+                        index, False, None, {},
+                        f"worker failed: {type(exc).__name__}: {exc}",
+                    )
+                outcomes.append(outcome)
+                roots_searched += 1
+                accumulate(outcome[3])
+
+    best: Optional[Tuple[int, MappingResult]] = None
+    failures = [
+        (index, reason)
+        for index, ok, _result, _stats, reason in outcomes
+        if not ok and reason != "exhausted"
+    ]
+    for index, ok, result, _stats, _reason in outcomes:
+        if ok and (best is None or result.depth < best[1].depth):
+            best = (index, result)
+
+    if not failures:
+        if best is not None:
+            depth = best[1].depth
+            return dataclasses.replace(
+                best[1],
+                optimal=True,
+                stats=aggregate_stats(**{STAT_INCUMBENT_DEPTH: depth}),
+            )
+        if incumbent is not None:
+            # Every root exhausted against the seed bound: the heuristic
+            # schedule is proven time-optimal for mode 2.
+            return dataclasses.replace(
+                incumbent,
+                optimal=True,
+                stats=aggregate_stats(
+                    **{STAT_INCUMBENT_DEPTH: incumbent.depth}
+                ),
+            )
+        raise SearchBudgetExceeded(
+            "mode-2 fan-out found no schedule and had no incumbent",
+            partial_stats=aggregate_stats(
+                **{STAT_BUDGET_REASON: "exhausted"}
+            ),
+        )
+
+    if all(reason == "deadline" for _i, reason in failures):
+        # Anytime semantics: hand back the best schedule known.
+        anytime = best[1] if best is not None else incumbent
+        if anytime is not None:
+            return dataclasses.replace(
+                anytime,
+                optimal=False,
+                stats=aggregate_stats(**{
+                    STAT_BUDGET_REASON: "deadline",
+                    STAT_INCUMBENT_DEPTH: anytime.depth,
+                }),
+            )
+    reasons = sorted({str(reason) for _i, reason in failures})
+    raise SearchBudgetExceeded(
+        f"mode-2 fan-out budget exceeded on {len(failures)} of "
+        f"{roots_searched} roots searched ({', '.join(reasons)})",
+        partial_stats=aggregate_stats(
+            **{STAT_BUDGET_REASON: reasons[0] if len(reasons) == 1
+               else "mixed"}
+        ),
+    )
+
+
+def _run_mode2_root_inproc(
+    worker, circuit: Circuit, mapping, index: int
+) -> Tuple[int, bool, Optional[MappingResult], Dict, Optional[str]]:
+    """Sequential-path twin of :func:`_run_mode2_root` (no global handle)."""
+    try:
+        result = worker.map(circuit, initial_mapping=list(mapping))
+    except SearchBudgetExceeded as exc:
+        stats = dict(exc.partial_stats)
+        return (index, False, None, stats,
+                stats.get(STAT_BUDGET_REASON, "unknown"))
+    return (index, True, result, dict(result.stats), None)
 
 
 def summarize(records: Sequence[BatchRecord]) -> Dict[str, float]:

@@ -129,6 +129,43 @@ class CouplingGraph:
         graph.add_edges_from(self.edges)
         return graph
 
+    def automorphisms(
+        self, max_qubits: int = 12, max_count: int = 64
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Edge-preserving permutations of the physical qubits.
+
+        Each returned tuple ``pi`` maps qubit ``p`` to ``pi[p]``; the
+        identity always comes first.  Mode 2 of the optimal search uses
+        these to quotient its initial-mapping space: two mappings related
+        by an automorphism root isomorphic subtrees with equal optimal
+        depth (latencies are per-gate, never per-position), so only one
+        representative needs searching.
+
+        Beyond ``max_qubits`` qubits (or past ``max_count`` permutations)
+        enumeration stops early and a *subset* of the automorphism group
+        is returned — canonicalization over any subset containing the
+        identity is still sound, merely less reductive, because a
+        collision under ``min`` over the subset exhibits a concrete
+        automorphism between the two mappings.  The result is cached.
+        """
+        cached = getattr(self, "_automorphisms", None)
+        if cached is not None:
+            return cached
+        identity = tuple(range(self.num_qubits))
+        perms: List[Tuple[int, ...]] = [identity]
+        if 1 < self.num_qubits <= max_qubits:
+            host = self.to_networkx()
+            matcher = nx.algorithms.isomorphism.GraphMatcher(host, host)
+            for mapping in matcher.isomorphisms_iter():
+                pi = tuple(mapping[p] for p in range(self.num_qubits))
+                if pi != identity:
+                    perms.append(pi)
+                if len(perms) >= max_count:
+                    break
+        result = tuple(perms)
+        self._automorphisms = result
+        return result
+
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return (

@@ -5,6 +5,8 @@ Commands:
 * ``map`` — route a circuit (QASM file or built-in benchmark) onto an
   architecture with a chosen mapper and print the verified schedule;
 * ``benchmarks`` — list the regenerable benchmark names;
+* ``bench-trend`` — tabulate the recorded search-perf trajectory
+  (``benchmarks/results/BENCH_search.json``);
 * ``archs`` — list the built-in architectures.
 
 Examples::
@@ -74,11 +76,20 @@ def _load_circuit(spec: str) -> Circuit:
 def _build_mapper(name: str, coupling, latency: LatencyModel, args,
                   telemetry: Optional[Telemetry] = None):
     if name == "optimal":
+        # map-batch shares this builder but lacks the bound-and-prune
+        # flags; fall back to the library defaults there.
         return OptimalMapper(
             coupling,
             latency,
             search_initial_mapping=args.search_initial,
             max_seconds=args.budget,
+            deadline=getattr(args, "deadline", None),
+            prune_swaps=not getattr(args, "no_prune_swaps", False),
+            seed_incumbent=not getattr(args, "no_seed_incumbent", False),
+            reduce_symmetry=not getattr(
+                args, "no_symmetry_reduction", False
+            ),
+            mode2_workers=getattr(args, "mode2_workers", None),
             telemetry=telemetry,
         )
     if name == "heuristic":
@@ -275,6 +286,52 @@ def _cmd_benchmarks(_args) -> int:
     return 0
 
 
+def _cmd_bench_trend(args) -> int:
+    """Tabulate the perf trajectory recorded in ``BENCH_search.json``."""
+    import json
+
+    try:
+        with open(args.json, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.json}: {exc}", file=sys.stderr)
+        return 1
+    trajectory = report.get("trajectory") or []
+    if not trajectory:
+        print(f"no trajectory entries in {args.json} — run "
+              "benchmarks/bench_search_perf.py to record one")
+        return 1
+
+    suite_names: list = []
+    for entry in trajectory:
+        for name in entry.get("suites") or {}:
+            if name not in suite_names:
+                suite_names.append(name)
+
+    for name in suite_names:
+        print(f"{name}:")
+        print(f"  {'commit':9s} {'date':21s} {'mode':5s} {'prune':5s} "
+              f"{'depth':>5s} {'nodes_expanded':>14s} {'nodes/sec':>12s}")
+        for entry in trajectory:
+            suite = (entry.get("suites") or {}).get(name)
+            if suite is None:
+                continue
+            depth = suite.get("depth")
+            rate = suite.get("nodes_per_sec")
+            print(
+                f"  {str(entry.get('commit', '?')):9s} "
+                f"{str(entry.get('date', '?')):21s} "
+                f"{str(entry.get('mode', '?')):5s} "
+                f"{str(entry.get('pruning', '?')):5s} "
+                f"{'—' if depth is None else depth:>5} "
+                f"{suite.get('nodes_expanded', '—'):>14} "
+                f"{'—' if rate is None else format(rate, ',.0f'):>12}"
+            )
+        print()
+    print(f"{len(trajectory)} trajectory entries in {args.json}")
+    return 0
+
+
 def _cmd_archs(_args) -> int:
     for name in architecture_names():
         arch = by_name(name)
@@ -311,6 +368,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     map_cmd.add_argument("--budget", type=float, default=None,
                          help="optimal-search wall-clock budget (s)")
+    map_cmd.add_argument(
+        "--deadline", type=float, default=None,
+        help="anytime budget (s): return the best incumbent schedule "
+             "(optimal=False) instead of raising when it expires",
+    )
+    map_cmd.add_argument(
+        "--no-prune-swaps", action="store_true",
+        help="disable the loss-free active-SWAP candidate restriction "
+             "(ablation)",
+    )
+    map_cmd.add_argument(
+        "--no-seed-incumbent", action="store_true",
+        help="do not seed the exact search's upper bound with a "
+             "heuristic run (ablation)",
+    )
+    map_cmd.add_argument(
+        "--no-symmetry-reduction", action="store_true",
+        help="do not deduplicate mode-2 initial mappings up to "
+             "coupling-graph automorphism (ablation)",
+    )
+    map_cmd.add_argument(
+        "--mode2-workers", type=int, default=None,
+        help="optimal mode 2: fan prefix-root mappings out across this "
+             "many worker processes (1 = sequential fan-out)",
+    )
     map_cmd.add_argument("--seed", type=int, default=0)
     map_cmd.add_argument("--max-ops", type=int, default=60)
     map_cmd.add_argument("--timeline", action="store_true",
@@ -369,6 +451,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_cmd = sub.add_parser("benchmarks", help="list benchmark names")
     bench_cmd.set_defaults(func=_cmd_benchmarks)
+
+    trend_cmd = sub.add_parser(
+        "bench-trend",
+        help="tabulate the recorded search-perf trajectory",
+    )
+    trend_cmd.add_argument(
+        "--json", default="benchmarks/results/BENCH_search.json",
+        help="path to the bench_search_perf.py report",
+    )
+    trend_cmd.set_defaults(func=_cmd_bench_trend)
 
     arch_cmd = sub.add_parser("archs", help="list architectures")
     arch_cmd.set_defaults(func=_cmd_archs)

@@ -26,6 +26,7 @@ search runs the uninstrumented branch — one flag check per expansion.
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 import time as _time
@@ -35,7 +36,16 @@ from ..arch.coupling import CouplingGraph, find_swap_free_mapping
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel
 from ..obs.events import SearchProgressEvent
-from ..obs.schema import MAPPER_TOQM_OPTIMAL, STAT_BUDGET_REASON, base_stats
+from ..obs.schema import (
+    MAPPER_TOQM_OPTIMAL,
+    STAT_BUDGET_REASON,
+    STAT_INCUMBENT_DEPTH,
+    STAT_INCUMBENT_UPDATES,
+    STAT_PRUNED_BY_BOUND,
+    STAT_SWAPS_RESTRICTED,
+    STAT_SYMMETRY_PRUNED,
+    base_stats,
+)
 from ..obs.telemetry import Telemetry, resolve
 from ..obs.tracer import (
     SPAN_EXPAND,
@@ -44,13 +54,19 @@ from ..obs.tracer import (
     SPAN_PREFIX,
     SPAN_SEARCH,
 )
-from .expander import OPTIMAL_EXPANSION, expand
+from .expander import OPTIMAL_EXPANSION, PRUNED_OPTIMAL_EXPANSION, expand
 from .filters import StateFilter
 from .gcpause import pause_gc
 from .heuristic import HeuristicMemo, heuristic_cost
+from .heuristic_mapper import incumbent_result
 from .problem import MappingProblem
 from .result import MappingResult, ScheduledOp
 from .state import SearchNode
+
+#: How many expansions between reads of the shared (cross-process)
+#: incumbent bound — each read takes the multiprocessing lock, so workers
+#: poll it coarsely instead of per node.
+_SHARED_BOUND_POLL = 128
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -68,6 +84,26 @@ class SearchBudgetExceeded(RuntimeError):
         self.partial_stats: Dict = dict(partial_stats or {})
 
 
+def _canonical_mapping(
+    pos: Tuple[int, ...], auts: Sequence[Tuple[int, ...]]
+) -> Tuple[int, ...]:
+    """Lexicographic representative of ``pos`` under the automorphisms.
+
+    A collision between two mappings' canonical forms exhibits a concrete
+    coupling-graph automorphism between them (``auts`` is drawn from a
+    group containing the identity), so deduplicating mode-2 mappings by
+    canonical form is loss-free for optimal depth: any schedule from one
+    mapping relabels, edge-for-edge and cycle-for-cycle, into a schedule
+    from the other.
+    """
+    best = None
+    for pi in auts:
+        candidate = tuple(pi[p] for p in pos)
+        if best is None or candidate < best:
+            best = candidate
+    return best
+
+
 def _recurse_prefix_swaps(
     candidate_swaps: List[Tuple[int, int]],
     node: SearchNode,
@@ -76,6 +112,9 @@ def _recurse_prefix_swaps(
     start: int,
     mask: int,
     chosen: List[Tuple[int, int]],
+    auts: Optional[Sequence[Tuple[int, ...]]] = None,
+    canon_seen: Optional[set] = None,
+    counters: Optional[Dict[str, int]] = None,
 ) -> None:
     """Free-SWAP-layer recursion (module-level so it carries no closure cell;
     a self-referencing nested closure would leave one reference cycle per
@@ -93,21 +132,31 @@ def _recurse_prefix_swaps(
         key = tuple(pos)
         if key not in seen:
             seen[key] = node.prefix_layers + 1
-            children.append(
-                SearchNode(
-                    time=0,
-                    pos=key,
-                    inv=tuple(inv),
-                    ptr=node.ptr,
-                    started=0,
-                    inflight=(),
-                    last_swaps=frozenset(),
-                    prev_startable=frozenset(),
-                    parent=node,
-                    actions=tuple(("s", p, q) for p, q in chosen),
-                    prefix_layers=node.prefix_layers + 1,
+            symmetric_dup = False
+            if auts is not None:
+                canon = _canonical_mapping(key, auts)
+                if canon in canon_seen:
+                    symmetric_dup = True
+                    if counters is not None:
+                        counters["symmetry_pruned"] += 1
+                else:
+                    canon_seen.add(canon)
+            if not symmetric_dup:
+                children.append(
+                    SearchNode(
+                        time=0,
+                        pos=key,
+                        inv=tuple(inv),
+                        ptr=node.ptr,
+                        started=0,
+                        inflight=(),
+                        last_swaps=frozenset(),
+                        prev_startable=frozenset(),
+                        parent=node,
+                        actions=tuple(("s", p, q) for p, q in chosen),
+                        prefix_layers=node.prefix_layers + 1,
+                    )
                 )
-            )
     for i in range(start, len(candidate_swaps)):
         p, q = candidate_swaps[i]
         bit = (1 << p) | (1 << q)
@@ -115,8 +164,151 @@ def _recurse_prefix_swaps(
             continue
         chosen.append((p, q))
         _recurse_prefix_swaps(candidate_swaps, node, seen, children,
-                              i + 1, mask | bit, chosen)
+                              i + 1, mask | bit, chosen,
+                              auts, canon_seen, counters)
         chosen.pop()
+
+
+def _recurse_mapping_swaps(
+    candidates: List[Tuple[int, int]],
+    pos: Tuple[int, ...],
+    inv: List[int],
+    seen: set,
+    produced: List[Tuple[int, ...]],
+    start: int,
+    mask: int,
+    chosen: List[Tuple[int, int]],
+) -> None:
+    """Disjoint-SWAP-subset recursion over bare mapping tuples (the
+    node-free analogue of :func:`_recurse_prefix_swaps`, used to
+    pre-enumerate mode-2 roots for the parallel fan-out)."""
+    if chosen:
+        new_pos = list(pos)
+        new_inv = list(inv)
+        for p, q in chosen:
+            l1, l2 = new_inv[p], new_inv[q]
+            new_inv[p], new_inv[q] = l2, l1
+            if l1 >= 0:
+                new_pos[l1] = q
+            if l2 >= 0:
+                new_pos[l2] = p
+        key = tuple(new_pos)
+        if key not in seen:
+            seen.add(key)
+            produced.append(key)
+    for i in range(start, len(candidates)):
+        p, q = candidates[i]
+        bit = (1 << p) | (1 << q)
+        if mask & bit:
+            continue
+        chosen.append((p, q))
+        _recurse_mapping_swaps(candidates, pos, inv, seen, produced,
+                               i + 1, mask | bit, chosen)
+        chosen.pop()
+
+
+def enumerate_mode2_mappings(
+    problem: MappingProblem,
+    try_swap_free_fast_path: bool = True,
+    reduce_symmetry: bool = False,
+    counters: Optional[Dict[str, int]] = None,
+) -> List[Tuple[int, ...]]:
+    """Deduplicated initial mappings mode 2 can reach (Section 5.3).
+
+    Breadth-first enumeration over up to ``longest_simple_path_bound()``
+    free layers of qubit-disjoint SWAP subsets, seeded from the swap-free
+    monomorphism embedding (when one exists) and the identity placement —
+    a superset of the mappings the in-search prefix expansion explores,
+    so searching each mapping as an independent mode-1 problem and taking
+    the minimum reproduces the serial mode-2 optimum.  The parallel
+    fan-out (:func:`repro.analysis.batch.map_mode2_fanout`) dispatches
+    one worker search per returned mapping.
+
+    With ``reduce_symmetry`` the mappings are additionally deduplicated
+    up to coupling-graph automorphism (see :func:`_canonical_mapping`):
+    symmetric mappings root isomorphic subtrees with equal optimal depth,
+    so one representative per orbit suffices.  ``counters`` (when given)
+    receives the number of orbit-mates dropped under
+    ``"symmetry_pruned"``.
+    """
+    num_logical = problem.num_logical
+    num_physical = problem.num_physical
+    prefix_cap = problem.coupling.longest_simple_path_bound()
+    identity = tuple(range(num_logical))
+    auts = problem.coupling.automorphisms() if reduce_symmetry else None
+    if auts is not None and len(auts) <= 1:
+        auts = None
+    canon_seen: set = set()
+
+    def admit(mapping: Tuple[int, ...]) -> bool:
+        """Record ``mapping``; True when it survives symmetry dedup."""
+        seen.add(mapping)
+        if auts is None:
+            return True
+        canon = _canonical_mapping(mapping, auts)
+        if canon in canon_seen:
+            if counters is not None:
+                counters["symmetry_pruned"] = (
+                    counters.get("symmetry_pruned", 0) + 1
+                )
+            return False
+        canon_seen.add(canon)
+        return True
+
+    order: List[Tuple[int, ...]] = []
+    seen: set = set()
+    if try_swap_free_fast_path:
+        embedding = find_swap_free_mapping(
+            problem.circuit.interaction_graph(),
+            problem.coupling,
+            num_logical,
+        )
+        if embedding is not None:
+            mapping = tuple(embedding[l] for l in range(num_logical))
+            if admit(mapping):
+                order.append(mapping)
+    if identity not in seen and admit(identity):
+        order.append(identity)
+
+    def inv_of(pos: Tuple[int, ...]) -> List[int]:
+        inv = [-1] * num_physical
+        for logical, physical in enumerate(pos):
+            inv[physical] = logical
+        return inv
+
+    frontier = list(order)
+    for _layer in range(prefix_cap):
+        next_frontier: List[Tuple[int, ...]] = []
+        for pos in frontier:
+            inv = inv_of(pos)
+            candidates = [
+                (p, q)
+                for p, q in problem.edges
+                if inv[p] >= 0 or inv[q] >= 0
+            ]
+            produced: List[Tuple[int, ...]] = []
+            _recurse_mapping_swaps(
+                candidates, pos, inv, seen, produced, 0, 0, []
+            )
+            if auts is not None:
+                kept: List[Tuple[int, ...]] = []
+                for mapping in produced:
+                    canon = _canonical_mapping(mapping, auts)
+                    if canon in canon_seen:
+                        if counters is not None:
+                            counters["symmetry_pruned"] = (
+                                counters.get("symmetry_pruned", 0) + 1
+                            )
+                        continue
+                    canon_seen.add(canon)
+                    kept.append(mapping)
+                produced = kept
+            next_frontier.extend(produced)
+            order.extend(produced)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return order
 
 
 class OptimalMapper:
@@ -134,6 +326,37 @@ class OptimalMapper:
         max_nodes: Abort with :class:`SearchBudgetExceeded` after expanding
             this many nodes (safety valve; optimality needs it unbounded).
         max_seconds: Optional wall-clock budget.
+        deadline: Optional *anytime* wall-clock budget in seconds.  Unlike
+            ``max_seconds`` (which raises), an expired deadline returns
+            the best incumbent schedule found so far — the heuristic seed
+            or a terminal discovered during the search — with
+            ``optimal=False`` and ``stats["incumbent_depth"]`` set.  Only
+            when no incumbent exists at all does the deadline raise.
+        prune_swaps: Apply the loss-free active-SWAP candidate
+            restriction (only SWAPs incident to operands of pending
+            two-qubit gates or to shortest-path qubits between them are
+            enumerated).  Depth-preserving for the admissible search; it
+            does trim decorative same-depth schedules, so
+            :meth:`find_all_optimal` always runs unrestricted.
+        seed_incumbent: Run the practical mapper once up front to seed an
+            incumbent upper bound ``UB`` (in mode 2, the swap-free
+            monomorphism embedding seeds the placement when it exists);
+            generated nodes with ``f >= UB`` (``> UB`` when enumerating
+            all optima) are pruned at push time, and the bound tightens
+            whenever a better terminal is generated (anytime behavior).
+        reduce_symmetry: In mode 2, deduplicate initial mappings up to
+            coupling-graph automorphism: symmetric mappings root
+            isomorphic subtrees of equal optimal depth (gate latencies
+            are position-independent), so only one orbit representative
+            is searched.  Loss-free for :meth:`map`; orbit-mates are
+            distinct schedules, so :meth:`find_all_optimal` always keeps
+            symmetry reduction off.
+        mode2_workers: When set and mode 2 applies, fan the deduplicated
+            prefix-root mappings out across a process pool
+            (:func:`repro.analysis.batch.map_mode2_fanout`), sharing the
+            best incumbent between workers; ``1`` runs the fan-out
+            sequentially in-process (same aggregation, no pool).
+            ``None`` keeps the classic single-queue mode-2 search.
         informed: Use the full swap-aware admissible heuristic of Section
             5.1.  When False the search degrades to an uninformed exact
             search guided only by the remaining critical path — the
@@ -159,6 +382,11 @@ class OptimalMapper:
         try_swap_free_fast_path: bool = True,
         max_nodes: Optional[int] = None,
         max_seconds: Optional[float] = None,
+        deadline: Optional[float] = None,
+        prune_swaps: bool = True,
+        seed_incumbent: bool = True,
+        reduce_symmetry: bool = True,
+        mode2_workers: Optional[int] = None,
         informed: bool = True,
         dominance: bool = True,
         memoize: bool = True,
@@ -170,10 +398,19 @@ class OptimalMapper:
         self.try_swap_free_fast_path = try_swap_free_fast_path
         self.max_nodes = max_nodes
         self.max_seconds = max_seconds
+        self.deadline = deadline
+        self.prune_swaps = prune_swaps
+        self.seed_incumbent = seed_incumbent
+        self.reduce_symmetry = reduce_symmetry
+        self.mode2_workers = mode2_workers
         self.informed = informed
         self.dominance = dominance
         self.memoize = memoize
         self.telemetry = telemetry
+        #: Cross-process incumbent bound handle
+        #: (:class:`repro.analysis.batch.SharedBound`), installed on worker
+        #: copies by the mode-2 fan-out; ``None`` for ordinary searches.
+        self.shared_incumbent = None
 
     # ------------------------------------------------------------------
     def map(
@@ -191,8 +428,23 @@ class OptimalMapper:
                 the identity mapping is used.
 
         Returns:
-            A :class:`MappingResult` with ``optimal=True``.
+            A :class:`MappingResult` with ``optimal=True`` (``False`` only
+            when an anytime ``deadline`` expired and the best incumbent is
+            returned instead).
         """
+        if (
+            initial_mapping is None
+            and self.search_initial_mapping
+            and self.mode2_workers is not None
+        ):
+            # Parallel mode 2: fan the deduplicated prefix-root mappings
+            # out across a process pool.  Imported lazily — batch imports
+            # this module.
+            from ..analysis.batch import map_mode2_fanout
+
+            return map_mode2_fanout(
+                self, circuit, max_workers=self.mode2_workers
+            )
         problem = MappingProblem(circuit, self.coupling, self.latency)
         terminals = self._search(problem, initial_mapping, find_all=False)
         return terminals[0]
@@ -220,8 +472,14 @@ class OptimalMapper:
         self,
         problem: MappingProblem,
         initial_mapping: Optional[Sequence[int]],
-    ) -> Tuple[List[SearchNode], bool]:
-        """Build root node(s); returns (roots, prefix_mode)."""
+    ) -> Tuple[List[SearchNode], bool, Optional[List[int]]]:
+        """Build root node(s).
+
+        Returns ``(roots, prefix_mode, fast_mapping)`` where
+        ``fast_mapping`` is the swap-free monomorphism embedding found in
+        mode 2 (``None`` otherwise) — used to seed the incumbent
+        heuristic run at a known-good placement.
+        """
         num_logical = problem.num_logical
         num_physical = problem.num_physical
 
@@ -249,12 +507,13 @@ class OptimalMapper:
                 initial_mapping
             ) != num_logical:
                 raise ValueError("initial mapping must be injective over logicals")
-            return [make_root(initial_mapping, -1)], False
+            return [make_root(initial_mapping, -1)], False, None
 
         if not self.search_initial_mapping:
-            return [make_root(range(num_logical), -1)], False
+            return [make_root(range(num_logical), -1)], False, None
 
         roots = [make_root(range(num_logical), 0)]
+        fast_mapping: Optional[List[int]] = None
         if self.try_swap_free_fast_path:
             embedding = find_swap_free_mapping(
                 problem.circuit.interaction_graph(),
@@ -262,9 +521,9 @@ class OptimalMapper:
                 num_logical,
             )
             if embedding is not None:
-                mapping = [embedding[l] for l in range(num_logical)]
-                roots.insert(0, make_root(mapping, 0))
-        return roots, True
+                fast_mapping = [embedding[l] for l in range(num_logical)]
+                roots.insert(0, make_root(fast_mapping, 0))
+        return roots, True, fast_mapping
 
     # ------------------------------------------------------------------
     def _search(
@@ -312,7 +571,7 @@ class OptimalMapper:
         start_clock = _time.perf_counter()
         enabled = tele.enabled
         tracer = tele.tracer
-        roots, prefix_mode = self._roots(problem, initial_mapping)
+        roots, prefix_mode, fast_mapping = self._roots(problem, initial_mapping)
         state_filter = StateFilter(
             problem,
             dominance=self.dominance,
@@ -324,15 +583,113 @@ class OptimalMapper:
         prefix_cap = (
             self.coupling.longest_simple_path_bound() if prefix_mode else 0
         )
+        # Depth on an all-to-all architecture: a lower bound on every
+        # schedule from EVERY initial mapping, used to bound-prune prefix
+        # nodes (whose own ``f`` is not a valid bound — see ``push``).
+        ideal_lb = problem.ideal_depth() if prefix_mode else 0
+
+        # The active-SWAP restriction is depth-preserving but trims
+        # decorative same-depth schedules, so the all-optima enumeration
+        # always runs unrestricted (see ExpansionConfig.active_swaps_only).
+        config = (
+            PRUNED_OPTIMAL_EXPANSION
+            if self.prune_swaps and not find_all
+            else OPTIMAL_EXPANSION
+        )
+        expand_counters = {"swaps_restricted": 0, "symmetry_pruned": 0}
+
+        # Mode-2 symmetry quotient: initial mappings related by a
+        # coupling-graph automorphism root isomorphic subtrees, so the
+        # prefix dedup additionally keys on the canonical orbit
+        # representative.  All-optima enumeration keeps every orbit-mate
+        # (symmetric schedules are distinct solutions).
+        auts: Optional[Sequence[Tuple[int, ...]]] = None
+        canon_seen: Optional[set] = None
+        if prefix_mode and self.reduce_symmetry and not find_all:
+            candidates_auts = self.coupling.automorphisms()
+            if len(candidates_auts) > 1:
+                auts = candidates_auts
+                canon_seen = set()
+
+        # --- branch-and-bound incumbent state --------------------------
+        # ``bound`` is the depth of the best complete schedule known (the
+        # heuristic seed, a terminal generated during this search, or a
+        # depth another fan-out worker shared).  Generated nodes with
+        # f >= bound (f > bound when enumerating all optima — those must
+        # keep equal-f terminals) are pruned at push time; h is admissible,
+        # so no strictly better schedule is ever lost, and exhausting the
+        # queue proves the incumbent optimal.
+        shared = self.shared_incumbent
+        prune_eq = not find_all
+        bound: Optional[int] = None
+        incumbent: Optional[MappingResult] = None
+        incumbent_node: Optional[SearchNode] = None
+        pruned_by_bound = 0
+        incumbent_updates = 0
+        if self.seed_incumbent:
+            if initial_mapping is not None:
+                seed_map: Optional[Sequence[int]] = initial_mapping
+            elif not prefix_mode:
+                seed_map = list(range(problem.num_logical))
+            else:
+                # Mode 2 optimizes over initial mappings, so ANY valid
+                # schedule bounds it; start the heuristic at the swap-free
+                # embedding when one exists, else let it place on the fly.
+                seed_map = fast_mapping
+            incumbent = incumbent_result(
+                problem.coupling,
+                problem.latency,
+                problem.circuit,
+                initial_mapping=seed_map,
+            )
+            if incumbent is not None:
+                bound = incumbent.depth
+        if shared is not None:
+            shared_depth = shared.peek()
+            if shared_depth is not None and (
+                bound is None or shared_depth < bound
+            ):
+                bound = shared_depth
+            if incumbent is not None and incumbent.depth is not None:
+                shared.offer(incumbent.depth)
 
         memo = HeuristicMemo() if self.memoize else None
+        total_gates = problem.num_gates
 
         def push(node: SearchNode) -> None:
+            nonlocal bound, incumbent_node, pruned_by_bound, incumbent_updates
             node.h = heuristic_cost(
                 problem, node, swap_aware=self.informed, memo=memo
             )
-            node.f = node.time + node.h
-            heapq.heappush(heap, (node.f, -node.started, next(counter), node))
+            f = node.time + node.h
+            node.f = f
+            # Prefix nodes are exempt from the f-based prune: free SWAP
+            # layers can still lower ``h`` by improving the mapping, so a
+            # prefix node's ``f`` does not bound its prefix-descendants'
+            # completions.  The all-to-all critical path does, though — no
+            # initial mapping beats ``ideal_lb`` — so once the incumbent
+            # reaches it the entire prefix subtree is provably unbeatable
+            # (otherwise mode 2 would grind the full mapping space just to
+            # certify an incumbent that already equals the optimum).
+            if bound is not None:
+                lb = ideal_lb if node.in_prefix else f
+                if lb > bound or (prune_eq and lb >= bound):
+                    # An improving terminal has time < bound and h == 0,
+                    # hence f < bound — this prune never discards one.
+                    pruned_by_bound += 1
+                    return
+            if (
+                node.started == total_gates
+                and not node.inflight
+                and (bound is None or node.time < bound)
+            ):
+                bound = node.time
+                incumbent_node = node
+                incumbent_updates += 1
+                state_filter.kill_above_bound(bound)
+                if shared is not None:
+                    shared.offer(bound)
+            heapq.heappush(heap, (f, -node.started, next(counter), node))
 
         if enabled:
             metrics = tele.metrics
@@ -347,8 +704,15 @@ class OptimalMapper:
 
             if memo is not None:
                 memo = HeuristicMemo(metrics=metrics)
+            m_pruned_bound = metrics.counter("search.pruned_by_bound")
+            m_incumbent_updates = metrics.counter("search.incumbent_updates")
+            m_incumbent_depth = metrics.gauge("search.incumbent_depth")
+            if bound is not None:
+                m_incumbent_depth.set(bound)
 
             def push(node: SearchNode) -> None:  # noqa: F811 - timed variant
+                nonlocal bound, incumbent_node
+                nonlocal pruned_by_bound, incumbent_updates
                 with tracer.span(SPAN_HEURISTIC):
                     t0 = _time.perf_counter()
                     node.h = heuristic_cost(
@@ -359,18 +723,50 @@ class OptimalMapper:
                         memo=memo,
                     )
                     m_heuristic_latency.observe(_time.perf_counter() - t0)
-                node.f = node.time + node.h
+                f = node.time + node.h
+                node.f = f
+                # Same prune as the untimed variant: f-based for real
+                # nodes, all-to-all critical path for prefix nodes.
+                if bound is not None:
+                    lb = ideal_lb if node.in_prefix else f
+                    if lb > bound or (prune_eq and lb >= bound):
+                        pruned_by_bound += 1
+                        m_pruned_bound.inc()
+                        return
+                if (
+                    node.started == total_gates
+                    and not node.inflight
+                    and (bound is None or node.time < bound)
+                ):
+                    bound = node.time
+                    incumbent_node = node
+                    incumbent_updates += 1
+                    m_incumbent_updates.inc()
+                    m_incumbent_depth.set(bound)
+                    state_filter.kill_above_bound(bound)
+                    if shared is not None:
+                        shared.offer(bound)
                 heapq.heappush(
-                    heap, (node.f, -node.started, next(counter), node)
+                    heap, (f, -node.started, next(counter), node)
                 )
 
+        pushed_roots = 0
         for root in roots:
             if prefix_mode:
                 seen_prefix_mappings.setdefault(root.pos, 0)
+                if auts is not None:
+                    canon = _canonical_mapping(root.pos, auts)
+                    if canon in canon_seen:
+                        # A symmetric twin (e.g. the embedding root) is
+                        # already being searched.
+                        expand_counters["symmetry_pruned"] += 1
+                        continue
+                    canon_seen.add(canon)
             push(root)
+            pushed_roots += 1
 
         expanded = 0
-        generated = len(roots)
+        generated = pushed_roots
         if enabled:
             m_generated.inc(generated)
         redundant = 0
@@ -382,6 +778,18 @@ class OptimalMapper:
             if memo is not None:
                 extra.setdefault("memo_hits", memo.hits)
                 extra.setdefault("memo_misses", memo.misses)
+            extra.setdefault(STAT_PRUNED_BY_BOUND, pruned_by_bound)
+            extra.setdefault(STAT_INCUMBENT_UPDATES, incumbent_updates)
+            extra.setdefault(
+                STAT_SWAPS_RESTRICTED, expand_counters["swaps_restricted"]
+            )
+            extra.setdefault(
+                STAT_SYMMETRY_PRUNED, expand_counters["symmetry_pruned"]
+            )
+            if bound is not None and (
+                incumbent is not None or incumbent_node is not None
+            ):
+                extra.setdefault(STAT_INCUMBENT_DEPTH, bound)
             return base_stats(
                 self.mapper_name,
                 nodes_expanded=expanded,
@@ -407,11 +815,23 @@ class OptimalMapper:
             if memo is not None:
                 memo.table.clear()
 
-        total_gates = problem.num_gates
         while heap:
             f, _neg_started, _tick, node = heapq.heappop(heap)
             if node.killed:
                 continue
+            if bound is not None:
+                # The incumbent may have tightened after the node was
+                # queued.  Real nodes re-check their own ``f``; prefix
+                # nodes are exempt from that (their free SWAP layers can
+                # still improve the mapping below their own ``f``) but
+                # fall to the mapping-independent ``ideal_lb`` check.
+                if node.in_prefix:
+                    if ideal_lb > bound or (prune_eq and ideal_lb >= bound):
+                        pruned_by_bound += 1
+                        continue
+                elif f > bound:
+                    pruned_by_bound += 1
+                    continue
             if best_depth is not None and f > best_depth:
                 break
             if node.started == total_gates and not node.inflight:
@@ -442,9 +862,44 @@ class OptimalMapper:
                     f"exceeded {self.max_seconds} seconds",
                     partial_stats=partial,
                 )
+            if (
+                self.deadline is not None
+                and _time.perf_counter() - start_clock > self.deadline
+            ):
+                # Anytime mode: hand back the best incumbent instead of
+                # raising — the reconstructed terminal when the search
+                # found one, else the heuristic seed schedule.
+                if incumbent_node is not None:
+                    stats = make_stats(**{STAT_BUDGET_REASON: "deadline"})
+                    result = self._reconstruct(
+                        problem, incumbent_node, stats=stats, optimal=False
+                    )
+                    release_search_state()
+                    return [result]
+                if incumbent is not None:
+                    stats = make_stats(**{STAT_BUDGET_REASON: "deadline"})
+                    result = dataclasses.replace(
+                        incumbent, optimal=False, stats=stats
+                    )
+                    release_search_state()
+                    return [result]
+                partial = make_stats(**{STAT_BUDGET_REASON: "deadline"})
+                release_search_state()
+                raise SearchBudgetExceeded(
+                    f"deadline of {self.deadline} seconds expired with no "
+                    "incumbent schedule",
+                    partial_stats=partial,
+                )
 
             node.dropped = True  # closed: may no longer exercise dominance
             expanded += 1
+            if shared is not None and expanded % _SHARED_BOUND_POLL == 0:
+                shared_depth = shared.peek()
+                if shared_depth is not None and (
+                    bound is None or shared_depth < bound
+                ):
+                    bound = shared_depth
+                    state_filter.kill_above_bound(bound)
             if enabled:
                 m_expanded.inc()
                 if expanded % progress_every == 0:
@@ -473,11 +928,14 @@ class OptimalMapper:
                 # minus every span/metric touch.
                 if node.in_prefix:
                     for child in self._expand_prefix(
-                        problem, node, prefix_cap, seen_prefix_mappings
+                        problem, node, prefix_cap, seen_prefix_mappings,
+                        auts, canon_seen, expand_counters,
                     ):
                         generated += 1
                         push(child)
-                children = expand(problem, node, OPTIMAL_EXPANSION)
+                children = expand(
+                    problem, node, config, counters=expand_counters
+                )
                 for child in children:
                     generated += 1
                     if state_filter.admit(child):
@@ -487,7 +945,8 @@ class OptimalMapper:
             if node.in_prefix:
                 with tracer.span(SPAN_PREFIX, layers=node.prefix_layers):
                     prefix_children = self._expand_prefix(
-                        problem, node, prefix_cap, seen_prefix_mappings
+                        problem, node, prefix_cap, seen_prefix_mappings,
+                        auts, canon_seen, expand_counters,
                     )
                 for child in prefix_children:
                     generated += 1
@@ -495,7 +954,8 @@ class OptimalMapper:
                     push(child)
             with tracer.span(SPAN_EXPAND, t=node.time, f=f):
                 children = expand(
-                    problem, node, OPTIMAL_EXPANSION, metrics=tele.metrics
+                    problem, node, config, metrics=tele.metrics,
+                    counters=expand_counters,
                 )
                 for child in children:
                     generated += 1
@@ -506,6 +966,24 @@ class OptimalMapper:
                         push(child)
 
         if not solutions:
+            # The queue ran dry.  With a *local* incumbent that proves
+            # optimality: every pruned node had f >= incumbent depth under
+            # an admissible h, so nothing strictly better exists.  A
+            # fan-out worker (shared bound) cannot conclude this — its
+            # bound may come from another root — so it raises and lets the
+            # aggregator decide.
+            if shared is None and incumbent_node is not None:
+                result = self._reconstruct(
+                    problem, incumbent_node, stats=make_stats()
+                )
+                release_search_state()
+                return [result]
+            if shared is None and incumbent is not None:
+                result = dataclasses.replace(
+                    incumbent, optimal=True, stats=make_stats()
+                )
+                release_search_state()
+                return [result]
             partial = make_stats(**{STAT_BUDGET_REASON: "exhausted"})
             release_search_state()
             raise SearchBudgetExceeded(
@@ -521,6 +999,9 @@ class OptimalMapper:
         node: SearchNode,
         prefix_cap: int,
         seen: Dict[Tuple[int, ...], int],
+        auts: Optional[Sequence[Tuple[int, ...]]] = None,
+        canon_seen: Optional[set] = None,
+        counters: Optional[Dict[str, int]] = None,
     ) -> List[SearchNode]:
         """Free pure-SWAP layer children (Section 5.3, mode 2)."""
         if node.prefix_layers >= prefix_cap:
@@ -531,7 +1012,8 @@ class OptimalMapper:
             if node.inv[p] >= 0 or node.inv[q] >= 0
         ]
         children: List[SearchNode] = []
-        _recurse_prefix_swaps(candidate_swaps, node, seen, children, 0, 0, [])
+        _recurse_prefix_swaps(candidate_swaps, node, seen, children, 0, 0, [],
+                              auts, canon_seen, counters)
         return children
 
     # ------------------------------------------------------------------
@@ -540,6 +1022,7 @@ class OptimalMapper:
         problem: MappingProblem,
         terminal: SearchNode,
         stats: Dict[str, float],
+        optimal: bool = True,
     ) -> MappingResult:
         ops: List[ScheduledOp] = []
         initial_pos = None
@@ -588,6 +1071,6 @@ class OptimalMapper:
             initial_mapping=tuple(initial_pos),
             ops=ops,
             depth=terminal.time,
-            optimal=True,
+            optimal=optimal,
             stats=stats,
         )

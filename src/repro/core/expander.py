@@ -33,6 +33,16 @@ class ExpansionConfig:
         frontier_swaps_only: Restrict candidate SWAPs to edges touching the
             current positions of logical qubits belonging to blocked
             frontier two-qubit gates.
+        active_swaps_only: Restrict candidate SWAPs to edges incident to
+            an *active* physical qubit — one holding an operand of a
+            pending two-qubit gate, or lying on a shortest path between
+            such an operand pair (see
+            :meth:`~repro.core.problem.MappingProblem.active_swap_mask`).
+            Unlike ``frontier_swaps_only`` this is loss-free for the
+            admissible optimal search: it only discards SWAPs that shuffle
+            bystander qubits, which no time-optimal schedule needs.  It
+            does trim decorative same-depth schedules, so
+            ``find_all_optimal`` runs with it off.
         protect_satisfied_frontier: Reject SWAPs that move an operand of a
             dependency-ready, coupling-satisfied two-qubit gate (the
             paper's "not allowing swaps that cause the executable gates on
@@ -47,12 +57,17 @@ class ExpansionConfig:
 
     greedy_gates: bool = False
     frontier_swaps_only: bool = False
+    active_swaps_only: bool = False
     protect_satisfied_frontier: bool = False
     max_swaps_per_step: Optional[int] = None
     max_candidate_swaps: Optional[int] = None
 
 
 OPTIMAL_EXPANSION = ExpansionConfig()
+
+#: Optimal-mode expansion with the loss-free active-SWAP restriction on —
+#: what :class:`~repro.core.astar.OptimalMapper` uses by default.
+PRUNED_OPTIMAL_EXPANSION = ExpansionConfig(active_swaps_only=True)
 
 
 def frontier_gates(problem: MappingProblem, node: SearchNode) -> List[int]:
@@ -90,8 +105,14 @@ def startable_actions(
     problem: MappingProblem,
     node: SearchNode,
     config: ExpansionConfig = OPTIMAL_EXPANSION,
+    counters: Optional[Dict[str, int]] = None,
 ) -> Tuple[List[Action], List[Action]]:
     """Actions that may start at the node's current cycle.
+
+    Args:
+        counters: Optional mutable dict; when given,
+            ``counters["swaps_restricted"]`` is incremented for every
+            candidate SWAP the ``active_swaps_only`` rule discards.
 
     Returns:
         ``(gates, swaps)`` — startable original-gate actions and startable
@@ -139,6 +160,12 @@ def startable_actions(
     last_swaps = node.last_swaps
     frontier_only = config.frontier_swaps_only
     protect = config.protect_satisfied_frontier
+    active_mask = (
+        problem.active_swap_mask(pos, node.ptr)
+        if config.active_swaps_only
+        else -1
+    )
+    restricted = 0
     for edge in problem.edges:
         p, q = edge
         pair_mask = (1 << p) | (1 << q)
@@ -148,11 +175,18 @@ def startable_actions(
             continue  # moving two unused qubits accomplishes nothing
         if edge in last_swaps:
             continue  # cyclic SWAP: would cancel the one just completed
+        if not (active_mask & pair_mask):
+            restricted += 1  # touches no pending operand or routing path
+            continue
         if frontier_only and not (blocked_mask & pair_mask):
             continue
         if protect and (protected_mask & pair_mask):
             continue
         swaps.append(("s", p, q))
+    if restricted and counters is not None:
+        counters["swaps_restricted"] = (
+            counters.get("swaps_restricted", 0) + restricted
+        )
 
     if (
         config.max_candidate_swaps is not None
@@ -575,6 +609,7 @@ def expand(
     node: SearchNode,
     config: ExpansionConfig = OPTIMAL_EXPANSION,
     metrics: Optional[MetricsRegistry] = None,
+    counters: Optional[Dict[str, int]] = None,
 ) -> List[SearchNode]:
     """All non-redundant children of ``node``.
 
@@ -591,8 +626,11 @@ def expand(
         metrics: When given, records per-expansion distributions
             (``expand.startable_gates/startable_swaps/action_sets/
             children``) and counts redundancy-fallback regenerations.
+        counters: Optional mutable dict for cheap cross-expansion
+            counters (``swaps_restricted``) kept even on the
+            uninstrumented fast path.
     """
-    gates, swaps = startable_actions(problem, node, config)
+    gates, swaps = startable_actions(problem, node, config, counters)
     all_startable = frozenset(gates) | frozenset(swaps)
     parent_eff = node.mapping_after_swaps()
     children: List[SearchNode] = []

@@ -219,6 +219,42 @@ class StateFilter:
         """Number of distinct effective states seen so far."""
         return len(self._table)
 
+    def kill_above_bound(self, bound: int) -> int:
+        """Kill open stored nodes whose ``f`` strictly exceeds ``bound``.
+
+        Called when the incumbent upper bound tightens: an open node with
+        ``f > bound`` can only reach terminals deeper than a schedule we
+        already hold (``h`` is admissible), so it is lazily killed — it
+        stays in the priority queue but is skipped when popped, and its
+        filter entry is dropped so the bucket scan no longer walks it.
+        Closed (expanded) nodes are left alone; their ``f`` no longer
+        gates anything.
+
+        Returns the number of nodes killed (also added to the running
+        ``killed`` counter and the ``filter.killed`` metric).
+        """
+        killed_now = 0
+        for key, bucket in list(self._table.items()):
+            survivors = []
+            for entry in bucket:
+                node = entry.node
+                if not node.killed and not node.dropped and node.f > bound:
+                    node.killed = True
+                    killed_now += 1
+                    continue
+                if not node.killed:
+                    survivors.append(entry)
+            if len(survivors) != len(bucket):
+                if survivors:
+                    self._table[key] = survivors
+                else:
+                    del self._table[key]
+        if killed_now:
+            self.killed += killed_now
+            if self._m_killed is not None:
+                self._m_killed.inc(killed_now)
+        return killed_now
+
     def release(self) -> None:
         """Drop every entry, freeing the node graph they pin.
 

@@ -53,6 +53,30 @@ class RoutingFailed(RuntimeError):
     """The pruned search dead-ended (should not happen on connected graphs)."""
 
 
+def incumbent_result(
+    coupling: CouplingGraph,
+    latency: Optional[LatencyModel],
+    circuit: Circuit,
+    initial_mapping: Optional[Sequence[int]] = None,
+    **mapper_kwargs,
+) -> Optional[MappingResult]:
+    """Cheap feasible schedule used to seed the exact search's upper bound.
+
+    Runs the practical mapper once (uninstrumented) and returns its
+    result, or ``None`` on any failure — incumbent seeding is an
+    optimization and must never block or fail the exact search.  When
+    ``initial_mapping`` is given the incumbent uses it, so its depth
+    upper-bounds the mode-1 optimum for that mapping; when omitted the
+    practical mapper places qubits on the fly, which upper-bounds the
+    mode-2 (searched-initial-mapping) optimum.
+    """
+    try:
+        mapper = HeuristicMapper(coupling, latency, **mapper_kwargs)
+        return mapper.map(circuit, initial_mapping=initial_mapping)
+    except Exception:  # noqa: BLE001 - seeding is strictly best-effort
+        return None
+
+
 def _frontier_distance(problem: MappingProblem, node: SearchNode) -> int:
     """Total excess distance of blocked frontier CNOT pairs.
 

@@ -152,6 +152,10 @@ class MappingProblem:
         #: only on the pointer vector, which far fewer distinct values
         #: take than there are generated nodes.
         self._pending_rows: Dict[Tuple[int, ...], Tuple] = {}
+        #: ``(pos, ptr) -> active-position bitmask`` cache for the
+        #: expander's SWAP-candidate restriction (see
+        #: :meth:`active_swap_mask`); capped like ``_pending_rows``.
+        self._active_masks: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
 
         # Per-gate successors along each operand chain.
         self.gate_next: Tuple[Tuple[int, ...], ...] = tuple(
@@ -246,6 +250,59 @@ class MappingProblem:
             if len(cache) < 32768:
                 cache[ptr] = rows
         return rows
+
+    def active_swap_mask(
+        self, pos: Tuple[int, ...], ptr: Tuple[int, ...]
+    ) -> int:
+        """Bitmask of *active* physical qubits under ``(pos, ptr)``.
+
+        A physical qubit is active when it holds an operand of a pending
+        two-qubit gate, or lies on **any** shortest path between the two
+        operand positions of such a gate (``dist(a, r) + dist(r, b) ==
+        dist(a, b)`` over the 1-D distance table).  SWAPs incident to no
+        active qubit only rearrange bystander qubits — qubits with no
+        pending two-qubit interaction, whose positions block no pending
+        route — and can therefore never shorten a schedule: every pending
+        operand can already reach any position through SWAPs incident to
+        its own (active) position, and a SWAP costs the same whether the
+        stepped-onto position is occupied or free.
+
+        Cached per ``(pos, ptr)``: many generated nodes share both the
+        mapping and the progress vector (they differ in timing only), and
+        the cache is capped as a safety valve for enormous runs.
+
+        Returns ``-1`` (all qubits active) when any pending operand is
+        still unplaced — the restriction is only meaningful once every
+        interacting qubit has a position.
+        """
+        key = (pos, ptr)
+        cache = self._active_masks
+        mask = cache.get(key)
+        if mask is not None:
+            return mask
+        mask = 0
+        dist_flat = self.dist_flat
+        num_physical = self.num_physical
+        seen_pairs = set()
+        for l1, l2, _length, _p1c, _p2c in self.pending_rows(ptr):
+            p1, p2 = pos[l1], pos[l2]
+            if p1 < 0 or p2 < 0:
+                return -1  # unplaced operand: no sound restriction
+            pair = (p1, p2) if p1 < p2 else (p2, p1)
+            if pair in seen_pairs:
+                continue
+            seen_pairs.add(pair)
+            mask |= (1 << p1) | (1 << p2)
+            row1 = p1 * num_physical
+            row2 = p2 * num_physical
+            d = dist_flat[row1 + p2]
+            if d > 1:
+                for r in range(num_physical):
+                    if dist_flat[row1 + r] + dist_flat[row2 + r] == d:
+                        mask |= 1 << r
+        if len(cache) < 32768:
+            cache[key] = mask
+        return mask
 
     def num_pending_gates(self, ptr: Tuple[int, ...]) -> int:
         """Distinct pending gates under ``ptr`` (singles included), O(L)."""

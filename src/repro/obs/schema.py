@@ -59,6 +59,13 @@ STAT_REDUNDANT = "redundant"
 STAT_DISTINCT_STATES = "distinct_states"
 STAT_QUEUE_TRIMS = "queue_trims"
 STAT_BUDGET_REASON = "budget_reason"
+# Branch-and-bound counters of the exact search (optional, optimal mode):
+STAT_PRUNED_BY_BOUND = "pruned_by_bound"
+STAT_INCUMBENT_UPDATES = "incumbent_updates"
+STAT_INCUMBENT_DEPTH = "incumbent_depth"
+STAT_SWAPS_RESTRICTED = "swaps_restricted"
+STAT_SYMMETRY_PRUNED = "symmetry_pruned"
+STAT_MODE2_ROOTS = "mode2_roots"
 
 # -- canonical mapper names ---------------------------------------------
 MAPPER_TOQM_OPTIMAL = "toqm-optimal"

@@ -1,0 +1,255 @@
+"""Tests of the branch-and-bound / search-space-reduction layer.
+
+Three kinds of guarantee:
+
+* **Loss-freeness** — the reductions (incumbent upper bound,
+  active-SWAP candidate restriction, mode-2 symmetry quotient) must
+  return bit-identical optimal depths to the unreduced search on random
+  circuits over LNN and 2×N grids, and must leave the
+  ``find_all_optimal`` solution *sets* untouched (the reductions that
+  would trim solutions are forced off there).
+* **Fan-out equivalence** — the parallel mode-2 root fan-out
+  (sequential and pooled) reproduces the serial mode-2 optimum.
+* **Budget/anytime semantics** — ``SearchBudgetExceeded.partial_stats``
+  aggregates counters across every fan-out root searched so far, and an
+  expired ``deadline`` hands back the incumbent with ``optimal=False``.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.batch import SharedBound, map_mode2_fanout
+from repro.arch import grid, lnn
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.generators import (
+    qft_skeleton,
+    queko_circuit,
+    random_circuit,
+)
+from repro.core import OptimalMapper, SearchBudgetExceeded
+from repro.core.astar import enumerate_mode2_mappings
+from repro.core.problem import MappingProblem
+from repro.verify import validate_result
+
+UNPRUNED = dict(prune_swaps=False, seed_incumbent=False,
+                reduce_symmetry=False)
+
+
+def _random_two_qubit_circuit(num_qubits, num_gates, rng):
+    circuit = Circuit(num_qubits)
+    for _ in range(num_gates):
+        a, b = rng.sample(range(num_qubits), 2)
+        circuit.cx(a, b)
+    return circuit
+
+
+def _solution_key(results):
+    return sorted(
+        (
+            r.depth,
+            r.initial_mapping,
+            tuple((o.name, o.physical_qubits, o.start) for o in r.ops),
+        )
+        for r in results
+    )
+
+
+ARCHS = [lnn(4), grid(2, 2), lnn(5), grid(2, 3)]
+
+
+class TestLossFreeReductions:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mode1_depths_bit_identical(self, seed):
+        rng = random.Random(seed)
+        arch = ARCHS[seed % len(ARCHS)]
+        circuit = _random_two_qubit_circuit(4, rng.randint(3, 7), rng)
+        latency = uniform_latency(1, 3)
+        mapping = list(range(4))
+        plain = OptimalMapper(arch, latency, **UNPRUNED).map(
+            circuit, initial_mapping=mapping
+        )
+        pruned = OptimalMapper(arch, latency).map(
+            circuit, initial_mapping=mapping
+        )
+        validate_result(pruned)
+        assert pruned.depth == plain.depth
+        assert pruned.optimal
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mode2_depths_bit_identical(self, seed):
+        rng = random.Random(100 + seed)
+        arch = ARCHS[seed % len(ARCHS)]
+        circuit = _random_two_qubit_circuit(4, rng.randint(3, 6), rng)
+        latency = uniform_latency(1, 3)
+        plain = OptimalMapper(
+            arch, latency, search_initial_mapping=True, **UNPRUNED
+        ).map(circuit)
+        pruned = OptimalMapper(
+            arch, latency, search_initial_mapping=True
+        ).map(circuit)
+        validate_result(pruned)
+        assert pruned.depth == plain.depth
+        assert pruned.optimal
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_find_all_solution_sets_identical(self, seed):
+        rng = random.Random(200 + seed)
+        arch = ARCHS[seed % len(ARCHS)]
+        circuit = _random_two_qubit_circuit(4, rng.randint(3, 5), rng)
+        latency = uniform_latency(1, 3)
+        plain = OptimalMapper(
+            arch, latency, search_initial_mapping=True, **UNPRUNED
+        ).find_all_optimal(circuit, max_solutions=32)
+        pruned = OptimalMapper(
+            arch, latency, search_initial_mapping=True
+        ).find_all_optimal(circuit, max_solutions=32)
+        assert _solution_key(pruned) == _solution_key(plain)
+
+    def test_incumbent_at_ideal_depth_is_instant_certificate(self):
+        """Regression: when the seeded incumbent already reaches the
+        all-to-all critical path (routine for QUEKO via the swap-free
+        fast path), mode 2 must return it as proven optimal immediately
+        instead of grinding the whole initial-mapping space to certify
+        it (this hung on 16-qubit Aspen-4 before the ``ideal_lb``
+        prefix prune)."""
+        arch = grid(2, 3)
+        circuit = queko_circuit(arch, depth=8, seed=5)
+        result = OptimalMapper(
+            arch, uniform_latency(1, 3), search_initial_mapping=True
+        ).map(circuit)
+        validate_result(result)
+        assert result.optimal
+        assert result.depth == circuit.depth(uniform_latency(1, 3))
+        assert result.stats["nodes_expanded"] == 0
+        assert result.stats["incumbent_depth"] == result.depth
+
+    def test_reductions_cut_mode2_expansions_on_qft(self):
+        """The headline effect: fewer expanded nodes at identical depth."""
+        latency = uniform_latency(1, 3)
+        circuit = qft_skeleton(5)
+        plain = OptimalMapper(
+            lnn(5), latency, search_initial_mapping=True, **UNPRUNED
+        ).map(circuit)
+        pruned = OptimalMapper(
+            lnn(5), latency, search_initial_mapping=True
+        ).map(circuit)
+        assert pruned.depth == plain.depth
+        assert (
+            pruned.stats["nodes_expanded"] < plain.stats["nodes_expanded"]
+        )
+        assert pruned.stats["symmetry_pruned"] > 0
+        assert pruned.stats["incumbent_depth"] == pruned.depth
+
+
+class TestSymmetryQuotient:
+    def test_line_and_grid_automorphism_counts(self):
+        auts5 = lnn(5).automorphisms()
+        assert (4, 3, 2, 1, 0) in auts5
+        assert auts5[0] == (0, 1, 2, 3, 4)
+        assert len(grid(2, 3).automorphisms()) == 4
+
+    def test_enumeration_quotient_is_orbit_exact(self):
+        problem = MappingProblem(
+            qft_skeleton(4), lnn(4), uniform_latency(1, 3)
+        )
+        full = enumerate_mode2_mappings(problem)
+        counters = {}
+        reduced = enumerate_mode2_mappings(
+            problem, reduce_symmetry=True, counters=counters
+        )
+        assert len(reduced) < len(full)
+        assert counters["symmetry_pruned"] > 0
+        # Every dropped mapping has an automorphic representative kept.
+        auts = lnn(4).automorphisms()
+        canon = lambda m: min(tuple(pi[p] for p in m) for pi in auts)
+        assert {canon(m) for m in full} == {canon(m) for m in reduced}
+
+    def test_find_all_keeps_symmetric_solutions(self):
+        """Orbit-mates are distinct schedules: find_all must keep them
+        (symmetry reduction is forced off there), so the solution set of
+        this fully symmetric instance is closed under every coupling
+        automorphism."""
+        latency = uniform_latency(1, 3)
+        circuit = Circuit(4).cx(0, 1).cx(2, 3)
+        solutions = OptimalMapper(
+            grid(2, 2), latency, search_initial_mapping=True
+        ).find_all_optimal(circuit, max_solutions=64)
+        mappings = {s.initial_mapping for s in solutions}
+        assert len(mappings) > 1
+        # Orbit-mates under the rectangle reflections (all reachable
+        # within the prefix cap) must all be present — a symmetry
+        # quotient leaking into find_all would drop them.
+        for pi in ((1, 0, 3, 2), (2, 3, 0, 1), (3, 2, 1, 0)):
+            assert pi in grid(2, 2).automorphisms()
+            assert {
+                tuple(pi[p] for p in m) for m in mappings
+            } == mappings
+
+
+class TestFanout:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_fanout_matches_serial_mode2(self, workers):
+        latency = uniform_latency(1, 3)
+        circuit = Circuit(4).cx(0, 1).cx(2, 3).cx(0, 3).cx(1, 2).cx(0, 2)
+        serial = OptimalMapper(
+            grid(2, 2), latency, search_initial_mapping=True
+        ).map(circuit)
+        fanned = OptimalMapper(
+            grid(2, 2), latency, search_initial_mapping=True,
+            mode2_workers=workers,
+        ).map(circuit)
+        validate_result(fanned)
+        assert fanned.depth == serial.depth
+        assert fanned.optimal
+        assert fanned.stats["mode2_roots"] >= 1
+        assert fanned.stats["mode2_workers"] == workers
+
+    def test_partial_stats_aggregate_across_roots(self):
+        """Regression: a tripped budget reports counters summed over every
+        fan-out root searched so far, not just the last one."""
+        latency = uniform_latency(1, 3)
+        circuit = qft_skeleton(4)
+        mapper = OptimalMapper(
+            lnn(4), latency, search_initial_mapping=True,
+            mode2_workers=1, max_nodes=100, seed_incumbent=False,
+        )
+        with pytest.raises(SearchBudgetExceeded) as excinfo:
+            mapper.map(circuit)
+        stats = excinfo.value.partial_stats
+        # Several roots complete before the cumulative budget trips, so
+        # a per-root (non-aggregated) report could never reach the full
+        # budget's worth of expansions.
+        assert stats["mode2_roots_searched"] >= 2
+        assert stats["nodes_expanded"] == 100
+        assert stats["nodes_generated"] > stats["nodes_expanded"]
+        assert stats["budget_reason"] == "max_nodes"
+
+    def test_shared_bound_monotone_min(self):
+        bound = SharedBound()
+        assert bound.peek() is None
+        assert bound.offer(30)
+        assert not bound.offer(31)
+        assert bound.offer(22)
+        assert bound.peek() == 22
+
+
+class TestAnytimeDeadline:
+    def test_expired_deadline_returns_incumbent(self):
+        latency = uniform_latency(1, 3)
+        circuit = qft_skeleton(6)
+        mapper = OptimalMapper(lnn(6), latency, deadline=0.0)
+        result = mapper.map(circuit, initial_mapping=list(range(6)))
+        validate_result(result)
+        assert not result.optimal
+        assert result.stats["budget_reason"] == "deadline"
+        assert result.stats["incumbent_depth"] == result.depth
+
+    def test_deadline_with_no_incumbent_raises(self):
+        latency = uniform_latency(1, 3)
+        circuit = qft_skeleton(5)
+        mapper = OptimalMapper(
+            lnn(5), latency, deadline=0.0, seed_incumbent=False
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            mapper.map(circuit, initial_mapping=list(range(5)))
