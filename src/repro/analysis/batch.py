@@ -42,12 +42,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..circuit.circuit import Circuit
 from ..core.astar import SearchBudgetExceeded
 from ..core.result import MappingResult
+from ..obs.events import SearchProgressEvent
 from ..obs.schema import (
     MAPPER_TOQM_OPTIMAL,
     STAT_BUDGET_REASON,
     STAT_INCUMBENT_DEPTH,
     STAT_MODE2_ROOTS,
     base_stats,
+)
+from ..obs.telemetry import Telemetry, resolve
+from ..obs.trace import (
+    INCUMBENT_SEED,
+    PRUNE_SYMMETRY,
+    TraceRecorder,
+    TraceSpec,
 )
 from ..verify.checker import validate_result
 
@@ -304,23 +312,47 @@ def _worker_mapper(mapper) -> "object":
     return worker
 
 
+def _worker_trace_telemetry(
+    trace_spec: Optional[TraceSpec],
+) -> Tuple[Optional[Telemetry], Optional[TraceRecorder]]:
+    """In-memory trace telemetry for one fan-out root.
+
+    Telemetry handles cannot cross the process boundary (sinks hold file
+    handles), so a traced fan-out ships a picklable :class:`TraceSpec`
+    instead; the worker records into memory and its ``drain()`` rides the
+    outcome tuple back to the coordinator.
+    """
+    if trace_spec is None:
+        return None, None
+    recorder = TraceRecorder.from_spec(trace_spec)
+    return Telemetry(search_trace=recorder), recorder
+
+
 def _run_mode2_root(payload) -> Tuple[int, bool, Optional[MappingResult],
-                                      Dict, Optional[str]]:
+                                      Dict, Optional[str],
+                                      Optional[List[Dict]]]:
     """Pool worker: exact mode-1 search of one fan-out root mapping.
 
-    Returns ``(index, ok, result, stats, budget_reason)``; an exhausted
-    queue (``budget_reason == "exhausted"``) is the *benign* outcome of a
-    root whose optimum cannot beat the shared incumbent.
+    Returns ``(index, ok, result, stats, budget_reason, trace_records)``;
+    an exhausted queue (``budget_reason == "exhausted"``) is the *benign*
+    outcome of a root whose optimum cannot beat the shared incumbent.
+    ``trace_records`` streams the root's expansion-level trace chunk back
+    when the coordinator requested one (None otherwise).
     """
-    mapper, circuit, mapping, index = payload
+    mapper, circuit, mapping, index, trace_spec = payload
     mapper.shared_incumbent = _SHARED_BOUND
+    telemetry, recorder = _worker_trace_telemetry(trace_spec)
+    if telemetry is not None:
+        mapper.telemetry = telemetry
     try:
         result = mapper.map(circuit, initial_mapping=list(mapping))
     except SearchBudgetExceeded as exc:
         stats = dict(exc.partial_stats)
         return (index, False, None, stats,
-                stats.get(STAT_BUDGET_REASON, "unknown"))
-    return (index, True, result, dict(result.stats), None)
+                stats.get(STAT_BUDGET_REASON, "unknown"),
+                recorder.drain() if recorder is not None else None)
+    return (index, True, result, dict(result.stats), None,
+            recorder.drain() if recorder is not None else None)
 
 
 def map_mode2_fanout(
@@ -357,12 +389,13 @@ def map_mode2_fanout(
     from ..core.heuristic_mapper import incumbent_result
     from ..core.problem import MappingProblem
 
-    tele = getattr(mapper, "telemetry", None)
-    if tele is not None and getattr(tele, "enabled", False):
-        raise ValueError(
-            "mode-2 fan-out workers cannot carry live telemetry across a "
-            "process boundary; detach telemetry or use mode2_workers=None"
-        )
+    # The coordinator keeps any live telemetry for itself (progress
+    # events, coordinator-side trace records); workers never carry it
+    # across the process boundary — a traced run ships a picklable
+    # TraceSpec instead and workers stream their chunks back.
+    tele = resolve(getattr(mapper, "telemetry", None))
+    trace = tele.search_trace if tele.enabled else None
+    trace_spec = trace.spec() if trace is not None else None
 
     start = time.perf_counter()
     problem = MappingProblem(circuit, mapper.coupling, mapper.latency)
@@ -373,6 +406,10 @@ def map_mode2_fanout(
         reduce_symmetry=getattr(mapper, "reduce_symmetry", True),
         counters=sym_counters,
     )
+    if trace is not None and sym_counters.get("symmetry_pruned"):
+        # Orbit-mates dropped during root enumeration — the fan-out's
+        # analogue of the serial prefix quotient.
+        trace.prune(PRUNE_SYMMETRY, count=sym_counters["symmetry_pruned"])
     workers = _default_workers() if max_workers is None else max_workers
     workers = max(1, min(workers, len(mappings)))
 
@@ -382,6 +419,8 @@ def map_mode2_fanout(
         incumbent = incumbent_result(mapper.coupling, mapper.latency, circuit)
         if incumbent is not None:
             shared.offer(incumbent.depth)
+            if trace is not None:
+                trace.incumbent(incumbent.depth, INCUMBENT_SEED)
 
     totals: Dict[str, int] = {key: 0 for key in _FANOUT_SUM_KEYS}
     totals["symmetry_pruned"] = sym_counters.get("symmetry_pruned", 0)
@@ -414,7 +453,20 @@ def map_mode2_fanout(
         )
 
     outcomes: List[Tuple[int, bool, Optional[MappingResult], Dict,
-                         Optional[str]]] = []
+                         Optional[str], Optional[List[Dict]]]] = []
+
+    def absorb(outcome) -> None:
+        """Record one root outcome: stats totals + its trace chunk."""
+        nonlocal roots_searched
+        outcomes.append(outcome)
+        roots_searched += 1
+        accumulate(outcome[3])
+        if trace is not None and outcome[5]:
+            for record in outcome[5]:
+                tagged = dict(record)
+                tagged["root"] = outcome[0]
+                trace.emit_raw(tagged)
+
     if workers <= 1:
         remaining_nodes = mapper.max_nodes
         for index, mapping in enumerate(mappings):
@@ -426,10 +478,10 @@ def map_mode2_fanout(
                 worker.max_seconds = mapper.max_seconds - (
                     time.perf_counter() - start
                 )
-            outcome = _run_mode2_root_inproc(worker, circuit, mapping, index)
-            outcomes.append(outcome)
-            roots_searched += 1
-            accumulate(outcome[3])
+            outcome = _run_mode2_root_inproc(
+                worker, circuit, mapping, index, trace_spec
+            )
+            absorb(outcome)
             if remaining_nodes is not None:
                 remaining_nodes -= int(outcome[3].get("nodes_expanded", 0))
             reason = outcome[4]
@@ -444,7 +496,8 @@ def map_mode2_fanout(
             template = _worker_mapper(mapper)
             futures = [
                 pool.submit(
-                    _run_mode2_root, (template, circuit, mapping, index)
+                    _run_mode2_root,
+                    (template, circuit, mapping, index, trace_spec),
                 )
                 for index, mapping in enumerate(mappings)
             ]
@@ -455,80 +508,115 @@ def map_mode2_fanout(
                     outcome = (
                         index, False, None, {},
                         f"worker failed: {type(exc).__name__}: {exc}",
+                        None,
                     )
-                outcomes.append(outcome)
-                roots_searched += 1
-                accumulate(outcome[3])
+                absorb(outcome)
 
     best: Optional[Tuple[int, MappingResult]] = None
     failures = [
-        (index, reason)
-        for index, ok, _result, _stats, reason in outcomes
-        if not ok and reason != "exhausted"
+        (outcome[0], outcome[4])
+        for outcome in outcomes
+        if not outcome[1] and outcome[4] != "exhausted"
     ]
-    for index, ok, result, _stats, _reason in outcomes:
+    for outcome in outcomes:
+        index, ok, result = outcome[0], outcome[1], outcome[2]
         if ok and (best is None or result.depth < best[1].depth):
             best = (index, result)
+
+    def conclude(stats: Dict, winning_root: int, depth: Optional[int]) -> None:
+        """Final coordinator telemetry: the parallel fan-out previously
+        ended without any terminal ``phase="done"`` progress event, so
+        subscribers could not tell a finished run from a stalled one.
+        Emit it here with the aggregated counters and the winning root,
+        and close the trace with the authoritative cross-root summary."""
+        if tele.enabled:
+            tele.publish_progress(SearchProgressEvent(
+                mapper=MAPPER_TOQM_OPTIMAL,
+                phase="done",
+                nodes_expanded=int(stats.get("nodes_expanded", 0)),
+                nodes_generated=int(stats.get("nodes_generated", 0)),
+                heap_size=0,
+                best_f=depth if depth is not None else -1,
+                elapsed_seconds=time.perf_counter() - start,
+                extra={
+                    "winning_root": winning_root,
+                    "mode2_roots": len(mappings),
+                    "mode2_roots_searched": roots_searched,
+                },
+            ))
+        if trace is not None:
+            trace.summary(stats, scope="aggregate")
 
     if not failures:
         if best is not None:
             depth = best[1].depth
-            return dataclasses.replace(
-                best[1],
-                optimal=True,
-                stats=aggregate_stats(**{STAT_INCUMBENT_DEPTH: depth}),
-            )
+            stats = aggregate_stats(**{STAT_INCUMBENT_DEPTH: depth})
+            conclude(stats, winning_root=best[0], depth=depth)
+            return dataclasses.replace(best[1], optimal=True, stats=stats)
         if incumbent is not None:
             # Every root exhausted against the seed bound: the heuristic
             # schedule is proven time-optimal for mode 2.
-            return dataclasses.replace(
-                incumbent,
-                optimal=True,
-                stats=aggregate_stats(
-                    **{STAT_INCUMBENT_DEPTH: incumbent.depth}
-                ),
+            stats = aggregate_stats(
+                **{STAT_INCUMBENT_DEPTH: incumbent.depth}
             )
+            conclude(stats, winning_root=-1, depth=incumbent.depth)
+            return dataclasses.replace(
+                incumbent, optimal=True, stats=stats
+            )
+        stats = aggregate_stats(**{STAT_BUDGET_REASON: "exhausted"})
+        conclude(stats, winning_root=-1, depth=None)
         raise SearchBudgetExceeded(
             "mode-2 fan-out found no schedule and had no incumbent",
-            partial_stats=aggregate_stats(
-                **{STAT_BUDGET_REASON: "exhausted"}
-            ),
+            partial_stats=stats,
         )
 
     if all(reason == "deadline" for _i, reason in failures):
         # Anytime semantics: hand back the best schedule known.
         anytime = best[1] if best is not None else incumbent
         if anytime is not None:
+            stats = aggregate_stats(**{
+                STAT_BUDGET_REASON: "deadline",
+                STAT_INCUMBENT_DEPTH: anytime.depth,
+            })
+            conclude(
+                stats,
+                winning_root=best[0] if best is not None else -1,
+                depth=anytime.depth,
+            )
             return dataclasses.replace(
-                anytime,
-                optimal=False,
-                stats=aggregate_stats(**{
-                    STAT_BUDGET_REASON: "deadline",
-                    STAT_INCUMBENT_DEPTH: anytime.depth,
-                }),
+                anytime, optimal=False, stats=stats
             )
     reasons = sorted({str(reason) for _i, reason in failures})
+    stats = aggregate_stats(
+        **{STAT_BUDGET_REASON: reasons[0] if len(reasons) == 1
+           else "mixed"}
+    )
+    conclude(stats, winning_root=-1, depth=None)
     raise SearchBudgetExceeded(
         f"mode-2 fan-out budget exceeded on {len(failures)} of "
         f"{roots_searched} roots searched ({', '.join(reasons)})",
-        partial_stats=aggregate_stats(
-            **{STAT_BUDGET_REASON: reasons[0] if len(reasons) == 1
-               else "mixed"}
-        ),
+        partial_stats=stats,
     )
 
 
 def _run_mode2_root_inproc(
-    worker, circuit: Circuit, mapping, index: int
-) -> Tuple[int, bool, Optional[MappingResult], Dict, Optional[str]]:
+    worker, circuit: Circuit, mapping, index: int,
+    trace_spec: Optional[TraceSpec] = None,
+) -> Tuple[int, bool, Optional[MappingResult], Dict, Optional[str],
+           Optional[List[Dict]]]:
     """Sequential-path twin of :func:`_run_mode2_root` (no global handle)."""
+    telemetry, recorder = _worker_trace_telemetry(trace_spec)
+    if telemetry is not None:
+        worker.telemetry = telemetry
     try:
         result = worker.map(circuit, initial_mapping=list(mapping))
     except SearchBudgetExceeded as exc:
         stats = dict(exc.partial_stats)
         return (index, False, None, stats,
-                stats.get(STAT_BUDGET_REASON, "unknown"))
-    return (index, True, result, dict(result.stats), None)
+                stats.get(STAT_BUDGET_REASON, "unknown"),
+                recorder.drain() if recorder is not None else None)
+    return (index, True, result, dict(result.stats), None,
+            recorder.drain() if recorder is not None else None)
 
 
 def summarize(records: Sequence[BatchRecord]) -> Dict[str, float]:

@@ -92,13 +92,18 @@ class ComparisonReport:
 
         Works across every mapper because all of them emit the shared
         stats schema; mapper-specific extras are intentionally omitted.
+        Rows are sorted by label (not entry insertion order) so the
+        rendering is deterministic regardless of how the report was
+        assembled.
         """
         columns = [k for k in REQUIRED_STAT_KEYS if k != "mapper"]
         header = f"{'mapper':20s}" + "".join(
             f" {column:>20}" for column in columns
         )
         lines = [header]
-        for label, row in self.normalized_stats().items():
+        rows = self.normalized_stats()
+        for label in sorted(rows):
+            row = rows[label]
             cells = ""
             for column in columns:
                 value = row.get(column)

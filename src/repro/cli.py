@@ -4,9 +4,13 @@ Commands:
 
 * ``map`` — route a circuit (QASM file or built-in benchmark) onto an
   architecture with a chosen mapper and print the verified schedule;
+* ``diagnose`` — analyze an expansion-level search trace recorded with
+  ``map --search-trace``: pruning attribution, heuristic-accuracy
+  audit, frontier dynamics, incumbent timeline;
 * ``benchmarks`` — list the regenerable benchmark names;
 * ``bench-trend`` — tabulate the recorded search-perf trajectory
-  (``benchmarks/results/BENCH_search.json``);
+  (``benchmarks/results/BENCH_search.json``); ``--check`` turns it
+  into a CI perf-regression gate;
 * ``archs`` — list the built-in architectures.
 
 Examples::
@@ -47,7 +51,7 @@ from .circuit import (
 )
 from .circuit.generators import qft_skeleton, random_circuit
 from .core import HeuristicMapper, OptimalMapper, SearchBudgetExceeded
-from .obs import JsonlSink, Telemetry
+from .obs import JsonlSink, Telemetry, TraceRecorder
 from .verify import validate_result
 
 _LATENCIES = {
@@ -111,7 +115,10 @@ def _build_mapper(name: str, coupling, latency: LatencyModel, args,
 
 def _build_telemetry(args) -> Optional[Telemetry]:
     """Telemetry context for ``map``; None when no flag asks for one."""
-    if not (args.trace or args.metrics_out or args.progress):
+    search_trace_path = getattr(args, "search_trace", None)
+    if not (
+        args.trace or args.metrics_out or args.progress or search_trace_path
+    ):
         return None
     if args.metrics_out:
         try:  # fail now, not mid-search when the sink lazily opens
@@ -123,8 +130,26 @@ def _build_telemetry(args) -> Optional[Telemetry]:
         sink = JsonlSink(args.metrics_out)
     else:
         sink = None
+    search_trace = None
+    if search_trace_path:
+        try:
+            open(search_trace_path, "w", encoding="utf-8").close()
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot write --search-trace "
+                f"{search_trace_path}: {exc}"
+            )
+        search_trace = TraceRecorder(
+            sink=JsonlSink(search_trace_path),
+            mode=args.search_trace_mode,
+            ring_size=args.search_trace_ring,
+            sample_every=args.search_trace_sample,
+        )
     telemetry = Telemetry(
-        trace=args.trace, sink=sink, progress_every=args.progress_every
+        trace=args.trace,
+        sink=sink,
+        progress_every=args.progress_every,
+        search_trace=search_trace,
     )
     if args.progress:
         telemetry.progress.subscribe(
@@ -159,6 +184,8 @@ def _cmd_map(args) -> int:
             telemetry.finish()
             if args.metrics_out:
                 print(f"wrote telemetry to {args.metrics_out}")
+            if args.search_trace:
+                print(f"wrote search trace to {args.search_trace}")
         return 2
     validate_result(result)
     print(result.describe(max_ops=args.max_ops))
@@ -180,6 +207,8 @@ def _cmd_map(args) -> int:
         telemetry.finish()
         if args.metrics_out:
             print(f"wrote telemetry to {args.metrics_out}")
+        if args.search_trace:
+            print(f"wrote search trace to {args.search_trace}")
     return 0
 
 
@@ -286,6 +315,43 @@ def _cmd_benchmarks(_args) -> int:
     return 0
 
 
+def _cmd_diagnose(args) -> int:
+    """Analyze a search trace recorded with ``map --search-trace``."""
+    import json
+
+    from .analysis.diagnose import diagnose, load_trace, render_report
+
+    try:
+        records = load_trace(args.trace_file)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(
+            f"error: no trace records in {args.trace_file} — record one "
+            "with `repro map ... --search-trace <path>`",
+            file=sys.stderr,
+        )
+        return 1
+    report = diagnose(records)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+    print(render_report(report))
+    if report["complete"] and not report["consistent"]:
+        print(
+            "error: complete trace does not reproduce the run's "
+            "counters — trace layer and search disagree",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench_trend(args) -> int:
     """Tabulate the perf trajectory recorded in ``BENCH_search.json``."""
     import json
@@ -293,8 +359,28 @@ def _cmd_bench_trend(args) -> int:
     try:
         with open(args.json, "r", encoding="utf-8") as handle:
             report = json.load(handle)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read {args.json}: {exc}", file=sys.stderr)
+    except OSError as exc:
+        print(
+            f"error: cannot read {args.json}: {exc}\n"
+            "run benchmarks/bench_search_perf.py to record a trajectory",
+            file=sys.stderr,
+        )
+        return 1
+    except ValueError as exc:
+        print(f"error: {args.json} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 1
+    from .analysis.diagnose import KNOWN_BENCH_SCHEMAS, check_trend
+
+    schema = report.get("schema") if isinstance(report, dict) else None
+    if schema not in KNOWN_BENCH_SCHEMAS:
+        known = ", ".join(KNOWN_BENCH_SCHEMAS)
+        print(
+            f"error: {args.json} has unknown schema {schema!r} "
+            f"(expected one of: {known})\n"
+            "re-record it with benchmarks/bench_search_perf.py",
+            file=sys.stderr,
+        )
         return 1
     trajectory = report.get("trajectory") or []
     if not trajectory:
@@ -329,6 +415,19 @@ def _cmd_bench_trend(args) -> int:
             )
         print()
     print(f"{len(trajectory)} trajectory entries in {args.json}")
+    if args.check:
+        ok, messages = check_trend(
+            report,
+            max_node_ratio=args.max_node_ratio,
+            max_time_ratio=args.max_time_ratio,
+        )
+        print()
+        for message in messages:
+            print(f"  {message}")
+        if not ok:
+            print("trend check: REGRESSION detected", file=sys.stderr)
+            return 1
+        print("trend check: ok")
     return 0
 
 
@@ -408,6 +507,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print live search-progress events to stderr")
     map_cmd.add_argument("--progress-every", type=int, default=500,
                          help="expansions between progress events")
+    map_cmd.add_argument(
+        "--search-trace", default=None, metavar="PATH",
+        help="record an expansion-level search trace (JSONL) for "
+             "`repro diagnose`",
+    )
+    map_cmd.add_argument(
+        "--search-trace-mode", default="full",
+        choices=["full", "ring", "sample"],
+        help="trace capture mode: full stream, last-N ring buffer, or "
+             "every-Nth sampling (counts stay exact in all modes)",
+    )
+    map_cmd.add_argument(
+        "--search-trace-ring", type=int, default=65536, metavar="N",
+        help="ring mode: number of records to keep",
+    )
+    map_cmd.add_argument(
+        "--search-trace-sample", type=int, default=64, metavar="N",
+        help="sample mode: record every Nth expand/prune event",
+    )
     map_cmd.set_defaults(func=_cmd_map)
 
     batch_cmd = sub.add_parser(
@@ -452,6 +570,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cmd = sub.add_parser("benchmarks", help="list benchmark names")
     bench_cmd.set_defaults(func=_cmd_benchmarks)
 
+    diag_cmd = sub.add_parser(
+        "diagnose",
+        help="analyze a search trace recorded with map --search-trace",
+    )
+    diag_cmd.add_argument(
+        "trace_file", help="JSONL trace from map --search-trace"
+    )
+    diag_cmd.add_argument(
+        "--json-out", default=None,
+        help="also write the full diagnostics report as JSON",
+    )
+    diag_cmd.set_defaults(func=_cmd_diagnose)
+
     trend_cmd = sub.add_parser(
         "bench-trend",
         help="tabulate the recorded search-perf trajectory",
@@ -459,6 +590,21 @@ def build_parser() -> argparse.ArgumentParser:
     trend_cmd.add_argument(
         "--json", default="benchmarks/results/BENCH_search.json",
         help="path to the bench_search_perf.py report",
+    )
+    trend_cmd.add_argument(
+        "--check", action="store_true",
+        help="compare the newest trajectory entry against prior entries "
+             "of the same configuration; exit 1 on regression",
+    )
+    trend_cmd.add_argument(
+        "--max-node-ratio", type=float, default=1.05,
+        help="--check: fail when nodes_expanded exceeds this multiple "
+             "of the best prior entry",
+    )
+    trend_cmd.add_argument(
+        "--max-time-ratio", type=float, default=3.0,
+        help="--check: fail when wall_seconds exceeds this multiple of "
+             "the best prior entry (priors under 0.1s never gate)",
     )
     trend_cmd.set_defaults(func=_cmd_bench_trend)
 

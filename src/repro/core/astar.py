@@ -47,6 +47,14 @@ from ..obs.schema import (
     base_stats,
 )
 from ..obs.telemetry import Telemetry, resolve
+from ..obs.trace import (
+    INCUMBENT_SEED,
+    INCUMBENT_SHARED,
+    INCUMBENT_TERMINAL,
+    PRUNE_IDEAL_DEPTH,
+    PRUNE_INCUMBENT_BOUND,
+    PRUNE_SYMMETRY,
+)
 from ..obs.tracer import (
     SPAN_EXPAND,
     SPAN_FILTER,
@@ -554,9 +562,15 @@ class OptimalMapper:
                     solutions = self._search_loop(
                         problem, initial_mapping, find_all, max_solutions, tele
                     )
-            except SearchBudgetExceeded:
+            except SearchBudgetExceeded as exc:
+                if tele.search_trace is not None:
+                    tele.search_trace.summary(exc.partial_stats)
                 tele.emit_metrics_snapshot(label="budget_exceeded")
                 raise
+        if tele.search_trace is not None and solutions:
+            # The last solution's stats carry the loop's final counters
+            # (single-solution searches break right after appending it).
+            tele.search_trace.summary(solutions[-1].stats)
         tele.emit_metrics_snapshot(label="search_complete")
         return solutions
 
@@ -571,11 +585,17 @@ class OptimalMapper:
         start_clock = _time.perf_counter()
         enabled = tele.enabled
         tracer = tele.tracer
+        # Expansion-level trace recorder.  Tracing rides the instrumented
+        # branch: ``trace`` is always None on the fast path, so the only
+        # cost tracing adds to an untraced run is the existing single
+        # ``enabled`` check per expansion.
+        trace = tele.search_trace if enabled else None
         roots, prefix_mode, fast_mapping = self._roots(problem, initial_mapping)
         state_filter = StateFilter(
             problem,
             dominance=self.dominance,
             metrics=tele.metrics if enabled else None,
+            trace=trace,
         )
         counter = itertools.count()
         heap: List[Tuple[int, int, int, SearchNode]] = []
@@ -644,12 +664,16 @@ class OptimalMapper:
             )
             if incumbent is not None:
                 bound = incumbent.depth
+                if trace is not None:
+                    trace.incumbent(bound, INCUMBENT_SEED)
         if shared is not None:
             shared_depth = shared.peek()
             if shared_depth is not None and (
                 bound is None or shared_depth < bound
             ):
                 bound = shared_depth
+                if trace is not None:
+                    trace.incumbent(bound, INCUMBENT_SHARED)
             if incumbent is not None and incumbent.depth is not None:
                 shared.offer(incumbent.depth)
 
@@ -732,6 +756,12 @@ class OptimalMapper:
                     if lb > bound or (prune_eq and lb >= bound):
                         pruned_by_bound += 1
                         m_pruned_bound.inc()
+                        if trace is not None:
+                            trace.prune(
+                                PRUNE_IDEAL_DEPTH if node.in_prefix
+                                else PRUNE_INCUMBENT_BOUND,
+                                node=node,
+                            )
                         return
                 if (
                     node.started == total_gates
@@ -743,6 +773,8 @@ class OptimalMapper:
                     incumbent_updates += 1
                     m_incumbent_updates.inc()
                     m_incumbent_depth.set(bound)
+                    if trace is not None:
+                        trace.incumbent(bound, INCUMBENT_TERMINAL)
                     state_filter.kill_above_bound(bound)
                     if shared is not None:
                         shared.offer(bound)
@@ -760,6 +792,8 @@ class OptimalMapper:
                         # A symmetric twin (e.g. the embedding root) is
                         # already being searched.
                         expand_counters["symmetry_pruned"] += 1
+                        if trace is not None:
+                            trace.prune(PRUNE_SYMMETRY, node=root)
                         continue
                     canon_seen.add(canon)
             push(root)
@@ -828,9 +862,13 @@ class OptimalMapper:
                 if node.in_prefix:
                     if ideal_lb > bound or (prune_eq and ideal_lb >= bound):
                         pruned_by_bound += 1
+                        if trace is not None:
+                            trace.prune(PRUNE_IDEAL_DEPTH, node=node)
                         continue
                 elif f > bound:
                     pruned_by_bound += 1
+                    if trace is not None:
+                        trace.prune(PRUNE_INCUMBENT_BOUND, node=node)
                     continue
             if best_depth is not None and f > best_depth:
                 break
@@ -838,6 +876,8 @@ class OptimalMapper:
                 if best_depth is None:
                     best_depth = node.time
                 if node.time == best_depth:
+                    if trace is not None:
+                        trace.solution(node, depth=node.time)
                     solutions.append(
                         self._reconstruct(problem, node, stats=make_stats())
                     )
@@ -899,9 +939,13 @@ class OptimalMapper:
                     bound is None or shared_depth < bound
                 ):
                     bound = shared_depth
+                    if trace is not None:
+                        trace.incumbent(bound, INCUMBENT_SHARED)
                     state_filter.kill_above_bound(bound)
             if enabled:
                 m_expanded.inc()
+                if trace is not None:
+                    trace.expand(node, heap_size=len(heap))
                 if expanded % progress_every == 0:
                     m_heap.set(len(heap))
                     m_frontier.set(f)
@@ -943,11 +987,22 @@ class OptimalMapper:
                 continue
 
             if node.in_prefix:
+                sym_before = expand_counters["symmetry_pruned"]
                 with tracer.span(SPAN_PREFIX, layers=node.prefix_layers):
                     prefix_children = self._expand_prefix(
                         problem, node, prefix_cap, seen_prefix_mappings,
                         auts, canon_seen, expand_counters,
                     )
+                if trace is not None:
+                    # Orbit-mates dropped while expanding this prefix node
+                    # were never built; attribute them to the expander.
+                    sym_delta = (
+                        expand_counters["symmetry_pruned"] - sym_before
+                    )
+                    if sym_delta:
+                        trace.prune(
+                            PRUNE_SYMMETRY, node=node, count=sym_delta
+                        )
                 for child in prefix_children:
                     generated += 1
                     m_generated.inc()
@@ -955,7 +1010,7 @@ class OptimalMapper:
             with tracer.span(SPAN_EXPAND, t=node.time, f=f):
                 children = expand(
                     problem, node, config, metrics=tele.metrics,
-                    counters=expand_counters,
+                    counters=expand_counters, trace=trace,
                 )
                 for child in children:
                     generated += 1

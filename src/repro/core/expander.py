@@ -18,6 +18,9 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import (
+    PRUNE_SWAP_RESTRICTION as TRACE_PRUNE_SWAP_RESTRICTION,
+)
 from .problem import MappingProblem
 from .state import Action, K_GATE, K_SWAP, SearchNode
 
@@ -601,6 +604,7 @@ def apply_action_set(
     child._fkey = fkey
     child._profile = None
     child._frontier = None
+    child._tid = -1
     return child
 
 
@@ -610,6 +614,7 @@ def expand(
     config: ExpansionConfig = OPTIMAL_EXPANSION,
     metrics: Optional[MetricsRegistry] = None,
     counters: Optional[Dict[str, int]] = None,
+    trace=None,
 ) -> List[SearchNode]:
     """All non-redundant children of ``node``.
 
@@ -629,8 +634,22 @@ def expand(
         counters: Optional mutable dict for cheap cross-expansion
             counters (``swaps_restricted``) kept even on the
             uninstrumented fast path.
+        trace: Optional :class:`~repro.obs.trace.TraceRecorder`; emits a
+            ``swap_restriction`` prune record attributed to ``node``
+            when the active-SWAP rule discarded candidate SWAPs here.
     """
+    if trace is not None and counters is not None:
+        restricted_before = counters.get("swaps_restricted", 0)
     gates, swaps = startable_actions(problem, node, config, counters)
+    if trace is not None and counters is not None:
+        restricted_delta = (
+            counters.get("swaps_restricted", 0) - restricted_before
+        )
+        if restricted_delta:
+            trace.prune(
+                TRACE_PRUNE_SWAP_RESTRICTION, node=node,
+                count=restricted_delta,
+            )
     all_startable = frozenset(gates) | frozenset(swaps)
     parent_eff = node.mapping_after_swaps()
     children: List[SearchNode] = []

@@ -23,6 +23,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import (
+    PRUNE_BOUND_KILL,
+    PRUNE_DOMINANCE,
+    PRUNE_DOMINANCE_KILL,
+    PRUNE_EQUIVALENCE,
+)
 from .problem import MappingProblem
 from .state import K_SWAP, SearchNode
 
@@ -118,10 +124,15 @@ class StateFilter:
         dominance: bool = True,
         live_only: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        trace=None,
     ) -> None:
         self._problem = problem
         self._dominance = dominance
         self._live_only = live_only
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`; when set,
+        #: every drop/kill is attributed (``equivalence`` / ``dominance``
+        #: / ``dominance_kill`` / ``incumbent_bound_kill``).
+        self._trace = trace
         self._table: Dict[Tuple, List[_Entry]] = {}
         self.equivalent_dropped = 0
         self.dominated_dropped = 0
@@ -171,6 +182,8 @@ class StateFilter:
                 self.equivalent_dropped += 1
                 if self._m_equivalent is not None:
                     self._m_equivalent.inc()
+                if self._trace is not None:
+                    self._trace.prune(PRUNE_EQUIVALENCE, node=node)
                 # Write back the compacted prefix so dead entries found
                 # during this scan don't linger on the bucket.
                 if len(survivors) < index:
@@ -191,6 +204,8 @@ class StateFilter:
                 self.dominated_dropped += 1
                 if self._m_dominated is not None:
                     self._m_dominated.inc()
+                if self._trace is not None:
+                    self._trace.prune(PRUNE_DOMINANCE, node=node)
                 if len(survivors) < index:
                     self._table[key] = survivors + bucket[index:]
                 return False
@@ -206,6 +221,10 @@ class StateFilter:
                 self.killed += 1
                 if self._m_killed is not None:
                     self._m_killed.inc()
+                if self._trace is not None:
+                    self._trace.prune(
+                        PRUNE_DOMINANCE_KILL, node=existing.node
+                    )
             else:
                 kept.append(existing)
         kept.append(entry)
@@ -253,6 +272,8 @@ class StateFilter:
             self.killed += killed_now
             if self._m_killed is not None:
                 self._m_killed.inc(killed_now)
+            if self._trace is not None:
+                self._trace.prune(PRUNE_BOUND_KILL, count=killed_now)
         return killed_now
 
     def release(self) -> None:

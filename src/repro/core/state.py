@@ -61,7 +61,10 @@ class SearchNode:
     the per-physical-qubit release profile the state filter computes, and
     ``_frontier`` the dependency-ready gate list.  All are invalidated by
     :meth:`invalidate_caches` when the practical mapper mutates ``pos`` /
-    ``inv`` in place during on-the-fly placement.
+    ``inv`` in place during on-the-fly placement.  ``_tid`` is the lazy
+    trace id :meth:`repro.obs.trace.TraceRecorder.node_id` assigns
+    (``-1`` = unassigned; survives cache invalidation — identity, not a
+    derived value).
     """
 
     __slots__ = (
@@ -84,6 +87,7 @@ class SearchNode:
         "_fkey",
         "_profile",
         "_frontier",
+        "_tid",
     )
 
     def __init__(
@@ -119,6 +123,7 @@ class SearchNode:
         self._fkey = None
         self._profile = None
         self._frontier = None
+        self._tid = -1
 
     def invalidate_caches(self) -> None:
         """Drop derived-value caches after in-place ``pos``/``inv`` edits."""

@@ -8,7 +8,10 @@ Three cooperating pieces, bundled by :class:`Telemetry`:
 * :class:`MetricsRegistry` — counters / gauges / histograms snapshotable
   at any point, including on budget exhaustion;
 * :class:`ProgressPublisher` — a live :class:`SearchProgressEvent`
-  stream emitted every N expansions.
+  stream emitted every N expansions;
+* :class:`TraceRecorder` — an expansion-level search trace with exact
+  prune attribution (which rule discarded which subtree), analyzed
+  offline by ``repro diagnose``.
 
 :mod:`repro.obs.schema` defines the normalized ``MappingResult.stats``
 key set every mapper emits.  The default path (``telemetry=None``) is
@@ -27,6 +30,12 @@ from .schema import (
 )
 from .sinks import FanoutSink, JsonlSink, MemorySink, Sink, read_jsonl
 from .telemetry import NULL_TELEMETRY, Telemetry, resolve
+from .trace import (
+    REASON_TO_STAT,
+    TRACE_MODES,
+    TraceRecorder,
+    TraceSpec,
+)
 from .tracer import DEFAULT_MAX_SPANS, NULL_SPAN, NULL_TRACER, Span, Tracer
 
 __all__ = [
@@ -49,6 +58,10 @@ __all__ = [
     "JsonlSink",
     "FanoutSink",
     "read_jsonl",
+    "TraceRecorder",
+    "TraceSpec",
+    "TRACE_MODES",
+    "REASON_TO_STAT",
     "REQUIRED_STAT_KEYS",
     "MAPPER_NAMES",
     "base_stats",

@@ -90,13 +90,15 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def summary(self) -> Dict[str, float]:
+        # Keys in sorted order so JSONL serializations diff stably
+        # (json.dumps preserves insertion order).
         return {
+            "buckets": list(self.buckets),
             "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
-            "buckets": list(self.buckets),
+            "min": self.min if self.min is not None else 0.0,
+            "sum": self.total,
         }
 
 
@@ -141,15 +143,18 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, object]:
         """JSON-serializable view of every instrument right now.
 
-        Counters flatten to their value, gauges to ``{value, max}``,
-        histograms to their full summary.
+        Counters flatten to their value, gauges to ``{max, value}``,
+        histograms to their full summary.  Instrument names and every
+        nested stat key come out in sorted order — snapshots of equal
+        state serialize byte-identically, so JSONL diffs and test
+        assertions are stable.
         """
         out: Dict[str, object] = {}
         for name, instrument in sorted(self._instruments.items()):
             if isinstance(instrument, Counter):
                 out[name] = instrument.value
             elif isinstance(instrument, Gauge):
-                out[name] = {"value": instrument.value, "max": instrument.max}
+                out[name] = {"max": instrument.max, "value": instrument.value}
             else:
                 out[name] = instrument.summary()
         return out

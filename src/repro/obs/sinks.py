@@ -84,12 +84,34 @@ def _json_default(value):
     return str(value)
 
 
-def read_jsonl(path: str) -> List[Dict]:
-    """Parse a telemetry JSONL file back into records."""
+def read_jsonl(path: str, strict: bool = False) -> List[Dict]:
+    """Parse a telemetry JSONL file back into records.
+
+    A run killed mid-write (budget trip, SIGKILL, full disk) can leave a
+    truncated final line; that must not make the whole trail unreadable,
+    so a malformed *last* line is silently dropped.  Malformed lines with
+    valid records after them indicate real corruption (not a torn tail)
+    and always raise ``ValueError`` with the line number; ``strict=True``
+    raises for the truncated-tail case too.
+    """
     records: List[Dict] = []
+    pending: Optional[tuple] = None  # (line_number, error) of a bad line
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, 1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            if pending is not None:
+                raise ValueError(
+                    f"{path}:{pending[0]}: corrupt JSONL record "
+                    f"({pending[1]})"
+                )
+            try:
                 records.append(json.loads(line))
+            except ValueError as exc:
+                pending = (number, exc)
+    if pending is not None and strict:
+        raise ValueError(
+            f"{path}:{pending[0]}: truncated JSONL record ({pending[1]})"
+        )
     return records

@@ -43,6 +43,11 @@ class Telemetry:
         sink: Destination for span/progress/metrics records.
         progress_every: Emit a progress event every N expansions.
         max_spans: Span-recording cap forwarded to the tracer.
+        search_trace: Optional
+            :class:`~repro.obs.trace.TraceRecorder` — the expansion-level
+            search trace with prune attribution.  Carried here (rather
+            than as another mapper argument) so one handle still wires
+            everything; :meth:`finish` closes it.
     """
 
     def __init__(
@@ -51,6 +56,7 @@ class Telemetry:
         sink: Optional[Sink] = None,
         progress_every: int = DEFAULT_PROGRESS_EVERY,
         max_spans: Optional[int] = None,
+        search_trace=None,
     ) -> None:
         self.enabled = True
         self.sink = sink
@@ -62,6 +68,7 @@ class Telemetry:
         self.metrics = MetricsRegistry()
         self.progress = ProgressPublisher()
         self.progress_every = max(1, progress_every)
+        self.search_trace = search_trace
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -112,11 +119,17 @@ class Telemetry:
         return record
 
     def finish(self, label: str = "final") -> Optional[Dict]:
-        """Emit the final metrics snapshot and close the sink (idempotent)."""
+        """Emit the final metrics snapshot and close the sink (idempotent).
+
+        Also flushes and closes the attached ``search_trace`` recorder,
+        so ring-mode trace contents reach their file.
+        """
         if self._finished or not self.enabled:
             return None
         self._finished = True
         record = self.emit_metrics_snapshot(label=label)
+        if self.search_trace is not None:
+            self.search_trace.close()
         if self.sink is not None:
             self.sink.close()
         return record

@@ -179,6 +179,33 @@ class TestMetrics:
         second = registry.snapshot()
         assert (first["n"], second["n"]) == (1, 2)
 
+    def test_snapshot_order_independent_of_registration(self):
+        """Equal state serializes byte-identically regardless of the
+        order instruments were first touched — JSONL diffs stay stable."""
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for registry, names in (
+            (forward, ["a.count", "m.gauge", "z.hist"]),
+            (backward, ["z.hist", "m.gauge", "a.count"]),
+        ):
+            for name in names:
+                if name.endswith("count"):
+                    registry.counter(name).inc(2)
+                elif name.endswith("gauge"):
+                    registry.gauge(name).set(5)
+                else:
+                    registry.histogram(name).observe(3)
+        assert json.dumps(forward.snapshot()) == \
+            json.dumps(backward.snapshot())
+        assert list(forward.snapshot()) == ["a.count", "m.gauge", "z.hist"]
+
+    def test_nested_stat_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2)
+        snap = registry.snapshot()
+        assert list(snap["g"]) == sorted(snap["g"])
+        assert list(snap["h"]) == sorted(snap["h"])
+
 
 class TestSinks:
     def test_jsonl_round_trip(self, tmp_path):
@@ -211,6 +238,38 @@ class TestSinks:
         fan = FanoutSink(a, None, b)
         fan.emit({"type": "span"})
         assert len(a.records) == len(b.records) == 1
+
+    def test_truncated_trailing_line_dropped(self, tmp_path):
+        """A budget-killed/SIGKILLed run can tear its final write; the
+        rest of the trail must stay readable by default."""
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"type": "span", "name": "search"}\n{"type": "me')
+        records = read_jsonl(str(path))
+        assert [r["name"] for r in records] == ["search"]
+
+    def test_truncated_trailing_line_raises_in_strict_mode(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"type": "span"}\n{"truncated": ')
+        with pytest.raises(ValueError, match="truncated JSONL record") as e:
+            read_jsonl(str(path), strict=True)
+        assert "torn.jsonl:2" in str(e.value)  # names the bad line
+
+    def test_corrupt_interior_line_always_raises(self, tmp_path):
+        """A malformed line *followed by valid records* is corruption,
+        not a torn tail — silently dropping it would hide data loss."""
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"type": "span"}\nnot json at all\n{"type": "metrics"}\n'
+        )
+        with pytest.raises(ValueError, match="corrupt JSONL record"):
+            read_jsonl(str(path))
+        with pytest.raises(ValueError, match="corrupt.jsonl:2"):
+            read_jsonl(str(path), strict=True)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"a": 1}\n\n\n{"b": 2}\n')
+        assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
 
 
 class TestProgressEvents:
@@ -301,3 +360,45 @@ class TestTelemetry:
 
     def test_progress_every_clamped_to_one(self):
         assert Telemetry(progress_every=0).progress_every == 1
+
+    def test_resolve_flag_combinations(self):
+        """Every `resolve` outcome a mapper can see: None → the shared
+        disabled singleton; disabled instances keep their flag; enabled
+        instances pass through regardless of which features are wired."""
+        assert resolve(None) is NULL_TELEMETRY
+        assert resolve(None).enabled is False
+
+        bare = Telemetry()
+        assert resolve(bare) is bare and bare.enabled
+        assert bare.tracer is NULL_TRACER  # trace off by default
+        assert bare.search_trace is None
+
+        spans_only = Telemetry(trace=True)
+        assert resolve(spans_only).tracer is not NULL_TRACER
+
+        from repro.obs import TraceRecorder
+
+        trace_only = Telemetry(search_trace=TraceRecorder())
+        resolved = resolve(trace_only)
+        assert resolved.enabled
+        assert resolved.search_trace is trace_only.search_trace
+        assert resolved.tracer is NULL_TRACER
+
+        disabled = Telemetry.disabled()
+        assert resolve(disabled) is disabled
+        assert resolve(disabled).enabled is False
+
+    def test_finish_closes_search_trace(self, tmp_path):
+        from repro.obs import JsonlSink, TraceRecorder
+
+        path = str(tmp_path / "trace.jsonl")
+        recorder = TraceRecorder(sink=JsonlSink(path), mode="ring",
+                                 ring_size=4)
+        telemetry = Telemetry(search_trace=recorder)
+        recorder.summary({})
+        telemetry.finish()  # must flush the ring through the sink
+        assert read_jsonl(path)[-1]["ev"] == "summary"
+
+    def test_disabled_finish_is_a_no_op(self):
+        telemetry = Telemetry.disabled()
+        assert telemetry.finish() is None
