@@ -45,6 +45,8 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
+import platform
 import statistics
 import subprocess
 import sys
@@ -56,6 +58,7 @@ from repro.arch import grid, lnn
 from repro.circuit import uniform_latency
 from repro.circuit.generators import qft_skeleton, random_circuit
 from repro.core import HeuristicMapper, OptimalMapper, SearchBudgetExceeded
+from repro.core.kernels import resolve_backend
 
 #: Throughput of the QFT-8/LNN exact microbench measured immediately
 #: before the hot-path overhaul landed, with this script's methodology
@@ -79,7 +82,7 @@ def _memo_hit_rate(stats: Dict) -> Optional[float]:
 
 
 def _run_exact_budgeted(num_qubits: int, max_nodes: int,
-                        iterations: int) -> Dict:
+                        iterations: int, kernel: Optional[str]) -> Dict:
     """Exact search driven into its node budget: pure-throughput probe."""
     circuit = qft_skeleton(num_qubits)
     samples = []
@@ -90,6 +93,7 @@ def _run_exact_budgeted(num_qubits: int, max_nodes: int,
         mapper = OptimalMapper(
             lnn(num_qubits), uniform_latency(1, 3), max_nodes=max_nodes,
             prune_swaps=False, seed_incumbent=False, reduce_symmetry=False,
+            kernel=kernel,
         )
         try:
             result = mapper.map(
@@ -112,7 +116,7 @@ def _run_exact_budgeted(num_qubits: int, max_nodes: int,
 
 
 def _run_exact_solve(num_qubits: int, arch, iterations: int,
-                     pruned: bool) -> Dict:
+                     pruned: bool, kernel: Optional[str]) -> Dict:
     """Mode-2 exact solve (placement + routing) run to optimality.
 
     ``pruned`` toggles the whole search-space-reduction layer at once
@@ -127,7 +131,7 @@ def _run_exact_solve(num_qubits: int, arch, iterations: int,
         mapper = OptimalMapper(
             arch, uniform_latency(1, 3), search_initial_mapping=True,
             prune_swaps=pruned, seed_incumbent=pruned,
-            reduce_symmetry=pruned,
+            reduce_symmetry=pruned, kernel=kernel,
         )
         result = mapper.map(circuit)
         depth = result.depth
@@ -149,13 +153,16 @@ def _run_exact_solve(num_qubits: int, arch, iterations: int,
     }
 
 
-def _run_heuristic(num_qubits: int, iterations: int) -> Dict:
+def _run_heuristic(num_qubits: int, iterations: int,
+                   kernel: Optional[str]) -> Dict:
     """Practical-mapper probe (layer-limited search, trimmed queue)."""
     circuit = qft_skeleton(num_qubits)
     samples = []
     depth = None
     for _ in range(iterations):
-        mapper = HeuristicMapper(lnn(num_qubits), uniform_latency(1, 3))
+        mapper = HeuristicMapper(
+            lnn(num_qubits), uniform_latency(1, 3), kernel=kernel
+        )
         result = mapper.map(circuit, initial_mapping=list(range(num_qubits)))
         depth = result.depth
         samples.append(result.stats)
@@ -172,14 +179,16 @@ def _run_heuristic(num_qubits: int, iterations: int) -> Dict:
     }
 
 
-def _run_batch(num_circuits: int, workers: int) -> Dict:
+def _run_batch(num_circuits: int, workers: int,
+               kernel: Optional[str]) -> Dict:
     """Batch-runner probe: map_many over random circuits."""
     tasks = [
         BatchTask(
             label=f"rand5-{seed}",
             circuit=random_circuit(5, 8, seed=seed),
             mapper=OptimalMapper(
-                lnn(5), uniform_latency(1, 3), max_nodes=50000
+                lnn(5), uniform_latency(1, 3), max_nodes=50000,
+                kernel=kernel,
             ),
         )
         for seed in range(num_circuits)
@@ -200,26 +209,35 @@ def _run_batch(num_circuits: int, workers: int) -> Dict:
     }
 
 
-def run_suites(tiny: bool, pruned: bool = True) -> Dict[str, Dict]:
+def run_suites(tiny: bool, pruned: bool = True,
+               kernel: Optional[str] = None) -> Dict[str, Dict]:
     if tiny:
         return {
-            MICRO_SUITE: _run_exact_budgeted(6, max_nodes=2000, iterations=1),
-            "qft4_lnn_solve": _run_exact_solve(
-                4, lnn(4), iterations=2, pruned=pruned
+            MICRO_SUITE: _run_exact_budgeted(
+                6, max_nodes=2000, iterations=1, kernel=kernel
             ),
-            "heuristic_qft6_lnn": _run_heuristic(6, iterations=2),
-            "batch_random5": _run_batch(num_circuits=2, workers=1),
+            "qft4_lnn_solve": _run_exact_solve(
+                4, lnn(4), iterations=3, pruned=pruned, kernel=kernel
+            ),
+            "heuristic_qft6_lnn": _run_heuristic(
+                6, iterations=2, kernel=kernel
+            ),
+            "batch_random5": _run_batch(
+                num_circuits=2, workers=1, kernel=kernel
+            ),
         }
     return {
-        MICRO_SUITE: _run_exact_budgeted(8, max_nodes=20000, iterations=3),
+        MICRO_SUITE: _run_exact_budgeted(
+            8, max_nodes=20000, iterations=3, kernel=kernel
+        ),
         "qft5_lnn_solve": _run_exact_solve(
-            5, lnn(5), iterations=3, pruned=pruned
+            5, lnn(5), iterations=3, pruned=pruned, kernel=kernel
         ),
         "qft6_2xn_solve": _run_exact_solve(
-            6, grid(2, 3), iterations=1, pruned=pruned
+            6, grid(2, 3), iterations=3, pruned=pruned, kernel=kernel
         ),
-        "heuristic_qft8_lnn": _run_heuristic(8, iterations=3),
-        "batch_random5": _run_batch(num_circuits=4, workers=1),
+        "heuristic_qft8_lnn": _run_heuristic(8, iterations=3, kernel=kernel),
+        "batch_random5": _run_batch(num_circuits=4, workers=1, kernel=kernel),
     }
 
 
@@ -242,6 +260,9 @@ def _trajectory_entry(report: Dict) -> Dict:
         ),
         "mode": report["mode"],
         "pruning": report["pruning"],
+        "kernel_backend": report["kernel_backend"],
+        "python_version": report["python_version"],
+        "cpu_count": report["cpu_count"],
         "suites": {
             name: {
                 key: suite[key]
@@ -285,13 +306,25 @@ def main(argv=None) -> int:
         help="run the exact-solve suites with every search-space "
              "reduction disabled (the 'before' trajectory point)",
     )
+    parser.add_argument(
+        "--kernel", default=None,
+        choices=["pure", "vector", "compiled"],
+        help="kernel backend for every suite (default: best available); "
+             "the resolved backend is recorded per trajectory entry and "
+             "bench-trend only compares entries of the same backend",
+    )
     args = parser.parse_args(argv)
 
-    suites = run_suites(args.tiny, pruned=not args.no_prune)
+    backend = resolve_backend(args.kernel).name
+    suites = run_suites(args.tiny, pruned=not args.no_prune,
+                        kernel=args.kernel)
     report = {
         "schema": "repro.bench_search/2",
         "mode": "tiny" if args.tiny else "full",
         "pruning": "off" if args.no_prune else "on",
+        "kernel_backend": backend,
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "baseline": dict(BASELINE),
         "suites": suites,
     }
@@ -308,6 +341,9 @@ def main(argv=None) -> int:
         json.dump(report, handle, indent=2)
         handle.write("\n")
 
+    print(f"{'kernel backend':22s} {backend:>18s}  "
+          f"(python {report['python_version']}, "
+          f"{report['cpu_count']} cpu)")
     for name, suite in suites.items():
         rate = suite.get("nodes_per_sec")
         rate_txt = f"{rate:,.0f} nodes/s" if rate else "—"

@@ -47,6 +47,7 @@ from ..obs.schema import (
     MAPPER_TOQM_OPTIMAL,
     STAT_BUDGET_REASON,
     STAT_INCUMBENT_DEPTH,
+    STAT_KERNEL_BACKEND,
     STAT_MODE2_ROOTS,
     base_stats,
 )
@@ -387,6 +388,7 @@ def map_mode2_fanout(
     """
     from ..core.astar import enumerate_mode2_mappings
     from ..core.heuristic_mapper import incumbent_result
+    from ..core.kernels import resolve_backend
     from ..core.problem import MappingProblem
 
     # The coordinator keeps any live telemetry for itself (progress
@@ -448,7 +450,10 @@ def map_mode2_fanout(
             **counters,
             **{STAT_MODE2_ROOTS: len(mappings),
                "mode2_roots_searched": roots_searched,
-               "mode2_workers": workers},
+               "mode2_workers": workers,
+               STAT_KERNEL_BACKEND: resolve_backend(
+                   getattr(mapper, "kernel", None)
+               ).name},
             **extra,
         )
 

@@ -417,7 +417,8 @@ def check_trend(
     """Compare the newest trajectory entry against its best predecessors.
 
     For every suite in the newest entry, looks up prior entries with the
-    same ``mode`` + ``pruning`` configuration and flags:
+    same ``mode`` + ``pruning`` + ``kernel_backend`` configuration (legacy
+    entries without a recorded backend count as ``"pure"``) and flags:
 
     * ``nodes_expanded`` above ``best_prior * max_node_ratio`` — the
       search expanded more nodes than it used to on identical input (node
@@ -436,15 +437,26 @@ def check_trend(
             "compare"
         ]
     newest = trajectory[-1]
-    config = (newest.get("mode"), newest.get("pruning"))
+
+    def _config(entry: Dict) -> Tuple:
+        # Entries written before backends existed ran the pure-python
+        # path, so treat a missing field as "pure" rather than refusing
+        # to compare against the whole pre-backend history.
+        return (
+            entry.get("mode"),
+            entry.get("pruning"),
+            entry.get("kernel_backend", "pure"),
+        )
+
+    config = _config(newest)
     priors = [
-        entry for entry in trajectory[:-1]
-        if (entry.get("mode"), entry.get("pruning")) == config
+        entry for entry in trajectory[:-1] if _config(entry) == config
     ]
     if not priors:
         return True, [
             f"trend check: no prior entries with mode={config[0]} "
-            f"pruning={config[1]} — nothing to compare"
+            f"pruning={config[1]} kernel={config[2]} — timings from "
+            "different backends are not comparable; nothing to check"
         ]
 
     ok = True

@@ -95,9 +95,13 @@ def _build_mapper(name: str, coupling, latency: LatencyModel, args,
             ),
             mode2_workers=getattr(args, "mode2_workers", None),
             telemetry=telemetry,
+            kernel=getattr(args, "kernel", None),
         )
     if name == "heuristic":
-        return HeuristicMapper(coupling, latency, telemetry=telemetry)
+        return HeuristicMapper(
+            coupling, latency, telemetry=telemetry,
+            kernel=getattr(args, "kernel", None),
+        )
     if name == "sabre":
         return SabreMapper(
             coupling, latency, seed=args.seed, telemetry=telemetry
@@ -218,7 +222,12 @@ def _cmd_map_batch(args) -> int:
     import os
 
     from .analysis.batch import BatchTask, map_many, summarize
-    from .obs.schema import REQUIRED_STAT_KEYS, STAT_SECONDS, stats_row
+    from .obs.schema import (
+        REQUIRED_STAT_KEYS,
+        STAT_KERNEL_BACKEND,
+        STAT_SECONDS,
+        stats_row,
+    )
 
     coupling = by_name(args.arch)
     latency = _LATENCIES[args.latency]
@@ -298,7 +307,10 @@ def _cmd_map_batch(args) -> int:
                     "swaps": rec.swaps,
                     "seconds": rec.seconds,
                     "error": rec.error,
-                    "stats": stats_row(rec.stats) if rec.stats else None,
+                    "stats": stats_row(
+                        rec.stats,
+                        REQUIRED_STAT_KEYS + (STAT_KERNEL_BACKEND,),
+                    ) if rec.stats else None,
                 }
                 for rec in records
             ],
@@ -492,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="optimal mode 2: fan prefix-root mappings out across this "
              "many worker processes (1 = sequential fan-out)",
     )
+    map_cmd.add_argument(
+        "--kernel", default=None,
+        choices=["pure", "vector", "compiled"],
+        help="kernel backend for the search hot path (default: best "
+             "available — compiled > vector > pure)",
+    )
     map_cmd.add_argument("--seed", type=int, default=0)
     map_cmd.add_argument("--max-ops", type=int, default=60)
     map_cmd.add_argument("--timeline", action="store_true",
@@ -561,6 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument(
         "--search-initial", action="store_true",
         help="optimal mode 2: search the initial mapping too",
+    )
+    batch_cmd.add_argument(
+        "--kernel", default=None,
+        choices=["pure", "vector", "compiled"],
+        help="kernel backend for the search hot path (default: best "
+             "available — compiled > vector > pure)",
     )
     batch_cmd.add_argument("--seed", type=int, default=0)
     batch_cmd.add_argument("--json-out", default=None,

@@ -41,6 +41,7 @@ from ..obs.schema import (
     STAT_BUDGET_REASON,
     STAT_INCUMBENT_DEPTH,
     STAT_INCUMBENT_UPDATES,
+    STAT_KERNEL_BACKEND,
     STAT_PRUNED_BY_BOUND,
     STAT_SWAPS_RESTRICTED,
     STAT_SYMMETRY_PRUNED,
@@ -67,6 +68,7 @@ from .filters import StateFilter
 from .gcpause import pause_gc
 from .heuristic import HeuristicMemo, heuristic_cost
 from .heuristic_mapper import incumbent_result
+from .kernels import resolve_backend
 from .problem import MappingProblem
 from .result import MappingResult, ScheduledOp
 from .state import SearchNode
@@ -399,6 +401,7 @@ class OptimalMapper:
         dominance: bool = True,
         memoize: bool = True,
         telemetry: Optional[Telemetry] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.coupling = coupling
         self.latency = latency
@@ -415,6 +418,11 @@ class OptimalMapper:
         self.dominance = dominance
         self.memoize = memoize
         self.telemetry = telemetry
+        #: Kernel backend name (``pure`` / ``vector`` / ``compiled``) or
+        #: ``None`` for the capability probe.  Stored as a string and
+        #: resolved lazily per search so mappers stay picklable for the
+        #: process-pool fan-outs.
+        self.kernel = kernel
         #: Cross-process incumbent bound handle
         #: (:class:`repro.analysis.batch.SharedBound`), installed on worker
         #: copies by the mode-2 fan-out; ``None`` for ordinary searches.
@@ -590,12 +598,17 @@ class OptimalMapper:
         # cost tracing adds to an untraced run is the existing single
         # ``enabled`` check per expansion.
         trace = tele.search_trace if enabled else None
+        kernel = resolve_backend(self.kernel)
+        heappush = kernel.heappush
+        heappop = kernel.heappop
+        kernel_expand = kernel.expand
         roots, prefix_mode, fast_mapping = self._roots(problem, initial_mapping)
         state_filter = StateFilter(
             problem,
             dominance=self.dominance,
             metrics=tele.metrics if enabled else None,
             trace=trace,
+            kernel=kernel,
         )
         counter = itertools.count()
         heap: List[Tuple[int, int, int, SearchNode]] = []
@@ -680,13 +693,17 @@ class OptimalMapper:
         memo = HeuristicMemo() if self.memoize else None
         total_gates = problem.num_gates
 
+        def score(nodes: List[SearchNode]) -> None:
+            """Assign h and f for a fan-out batch via the kernel backend."""
+            kernel.heuristic_batch(
+                problem, nodes, swap_aware=self.informed, memo=memo
+            )
+            for node in nodes:
+                node.f = node.time + node.h
+
         def push(node: SearchNode) -> None:
             nonlocal bound, incumbent_node, pruned_by_bound, incumbent_updates
-            node.h = heuristic_cost(
-                problem, node, swap_aware=self.informed, memo=memo
-            )
-            f = node.time + node.h
-            node.f = f
+            f = node.f  # score() ran on the batch this node came from
             # Prefix nodes are exempt from the f-based prune: free SWAP
             # layers can still lower ``h`` by improving the mapping, so a
             # prefix node's ``f`` does not bound its prefix-descendants'
@@ -713,7 +730,7 @@ class OptimalMapper:
                 state_filter.kill_above_bound(bound)
                 if shared is not None:
                     shared.offer(bound)
-            heapq.heappush(heap, (f, -node.started, next(counter), node))
+            heappush(heap, (f, -node.started, next(counter), node))
 
         if enabled:
             metrics = tele.metrics
@@ -733,6 +750,11 @@ class OptimalMapper:
             m_incumbent_depth = metrics.gauge("search.incumbent_depth")
             if bound is not None:
                 m_incumbent_depth.set(bound)
+
+            def score(nodes: List[SearchNode]) -> None:  # noqa: F811
+                # Instrumented runs keep per-node evaluation: the push
+                # variant below times and attributes each one.
+                pass
 
             def push(node: SearchNode) -> None:  # noqa: F811 - timed variant
                 nonlocal bound, incumbent_node
@@ -778,11 +800,11 @@ class OptimalMapper:
                     state_filter.kill_above_bound(bound)
                     if shared is not None:
                         shared.offer(bound)
-                heapq.heappush(
+                heappush(
                     heap, (f, -node.started, next(counter), node)
                 )
 
-        pushed_roots = 0
+        root_batch: List[SearchNode] = []
         for root in roots:
             if prefix_mode:
                 seen_prefix_mappings.setdefault(root.pos, 0)
@@ -796,8 +818,14 @@ class OptimalMapper:
                             trace.prune(PRUNE_SYMMETRY, node=root)
                         continue
                     canon_seen.add(canon)
+            root_batch.append(root)
+        # Scoring is bound-independent, so batch-scoring the surviving
+        # roots then pushing them in order is identical to the old
+        # score-inside-push sequence.
+        score(root_batch)
+        for root in root_batch:
             push(root)
-            pushed_roots += 1
+        pushed_roots = len(root_batch)
 
         expanded = 0
         generated = pushed_roots
@@ -814,6 +842,7 @@ class OptimalMapper:
                 extra.setdefault("memo_misses", memo.misses)
             extra.setdefault(STAT_PRUNED_BY_BOUND, pruned_by_bound)
             extra.setdefault(STAT_INCUMBENT_UPDATES, incumbent_updates)
+            extra.setdefault(STAT_KERNEL_BACKEND, kernel.name)
             extra.setdefault(
                 STAT_SWAPS_RESTRICTED, expand_counters["swaps_restricted"]
             )
@@ -850,7 +879,7 @@ class OptimalMapper:
                 memo.table.clear()
 
         while heap:
-            f, _neg_started, _tick, node = heapq.heappop(heap)
+            f, _neg_started, _tick, node = heappop(heap)
             if node.killed:
                 continue
             if bound is not None:
@@ -969,21 +998,45 @@ class OptimalMapper:
 
             if not enabled:
                 # Fast path: identical to the instrumented branch below
-                # minus every span/metric touch.
+                # minus every span/metric touch, restructured to score the
+                # whole fan-out as one kernel batch (admit first, then
+                # batch-score the admitted children, then push in order).
+                # Scoring is bound-independent, so this reorders nothing —
+                # except when a fan-out contains a terminal child, whose
+                # push tightens the bound and kills filter entries between
+                # sibling admits; that rare case (at most one per
+                # incumbent update) keeps the sequential order.
+                batch: List[SearchNode] = []
                 if node.in_prefix:
                     for child in self._expand_prefix(
                         problem, node, prefix_cap, seen_prefix_mappings,
                         auts, canon_seen, expand_counters,
                     ):
                         generated += 1
-                        push(child)
-                children = expand(
+                        batch.append(child)
+                children = kernel_expand(
                     problem, node, config, counters=expand_counters
                 )
+                if any(
+                    child.started == total_gates and not child.inflight
+                    for child in children
+                ):
+                    score(batch)
+                    for child in batch:
+                        push(child)
+                    for child in children:
+                        generated += 1
+                        if state_filter.admit(child):
+                            score([child])
+                            push(child)
+                    continue
                 for child in children:
                     generated += 1
                     if state_filter.admit(child):
-                        push(child)
+                        batch.append(child)
+                score(batch)
+                for child in batch:
+                    push(child)
                 continue
 
             if node.in_prefix:

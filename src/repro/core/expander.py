@@ -602,6 +602,7 @@ def apply_action_set(
     child.dropped = False
     child._eff = eff
     child._fkey = fkey
+    child._mkey = None
     child._profile = None
     child._frontier = None
     child._tid = -1

@@ -29,8 +29,9 @@ from ..obs.trace import (
     PRUNE_DOMINANCE_KILL,
     PRUNE_EQUIVALENCE,
 )
+from .kernels.api import KernelBackend, pure_dominates, pure_profile
 from .problem import MappingProblem
-from .state import K_SWAP, SearchNode
+from .state import SearchNode
 
 
 class _Entry:
@@ -43,70 +44,11 @@ class _Entry:
         self.node = node
 
 
-def _profile(
-    problem: MappingProblem, node: SearchNode
-) -> Tuple[Tuple[int, ...], Dict[int, int]]:
-    """Per-physical-qubit release times and in-flight gate finish times.
-
-    Cached on the node (``node._profile``): the practical mapper admits
-    the same node against several filter generations, and ``qfree`` is
-    tupled exactly once per node this way (dominance comparisons reuse
-    the stored tuple).
-    """
-    cached = node._profile
-    if cached is not None:
-        return cached
-    qfree = [node.time] * problem.num_physical
-    gate_finish: Dict[int, int] = {}
-    for finish, kind, a, b in node.inflight:
-        if kind == K_SWAP:
-            if finish > qfree[a]:
-                qfree[a] = finish
-            if finish > qfree[b]:
-                qfree[b] = finish
-        else:
-            gate_finish[a] = finish
-            for logical in problem.gate_qubits[a]:
-                p = node.pos[logical]
-                if finish > qfree[p]:
-                    qfree[p] = finish
-    profile = (tuple(qfree), gate_finish)
-    node._profile = profile
-    return profile
-
-
-def _dominates(better: _Entry, worse: _Entry) -> bool:
-    """True when ``better`` can mimic any completion of ``worse``.
-
-    Beyond the timing conditions (no later anywhere), the dominating node
-    must not be more *restricted* than the dominated one: its subtree
-    prunes first steps recorded in ``prev_startable`` (could-have-started-
-    earlier redundancy) and immediate-undo SWAPs recorded in
-    ``last_swaps``, so those sets must be subsets of the loser's —
-    otherwise a completion available under ``worse`` may be pruned under
-    ``better`` and optimality is lost.
-    """
-    better_time = better.time
-    worse_time = worse.time
-    if better_time > worse_time:
-        return False
-    for rb, rw in zip(better.qfree, worse.qfree):
-        if rb > rw:
-            return False
-    bf = better.gate_finish
-    wf = worse.gate_finish
-    if bf or wf:
-        for gate, finish_better in bf.items():
-            if finish_better > wf.get(gate, worse_time):
-                return False
-        for gate, finish_worse in wf.items():
-            if gate not in bf and better_time > finish_worse:
-                return False
-    if not better.node.last_swaps <= worse.node.last_swaps:
-        return False
-    if not better.node.prev_startable <= worse.node.prev_startable:
-        return False
-    return True
+#: The reference implementations now live with the kernel backends
+#: (kernels/api.py) so compiled variants can shadow them without an
+#: import cycle; these aliases keep this module's historical names.
+_profile = pure_profile
+_dominates = pure_dominates
 
 
 class StateFilter:
@@ -125,6 +67,7 @@ class StateFilter:
         live_only: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         trace=None,
+        kernel: Optional[KernelBackend] = None,
     ) -> None:
         self._problem = problem
         self._dominance = dominance
@@ -133,6 +76,18 @@ class StateFilter:
         #: every drop/kill is attributed (``equivalence`` / ``dominance``
         #: / ``dominance_kill`` / ``incumbent_bound_kill``).
         self._trace = trace
+        self._kernel = kernel if kernel is not None else KernelBackend()
+        # The compiled backend's fused bucket scan replaces the python
+        # admit loop — but only uninstrumented: metrics/trace need the
+        # per-comparison attribution the python scan provides.  The
+        # semantics (and counters) are identical either way.
+        fused = (
+            metrics is None
+            and trace is None
+            and self._kernel.admit_scan is not None
+        )
+        self._admit_scan = self._kernel.admit_scan if fused else None
+        self._entry_type = self._kernel.make_entry if fused else _Entry
         self._table: Dict[Tuple, List[_Entry]] = {}
         self.equivalent_dropped = 0
         self.dominated_dropped = 0
@@ -158,14 +113,33 @@ class StateFilter:
         buckets no longer accumulate corpses between :meth:`compact`
         calls.
         """
-        key = node.filter_key()
-        qfree, gate_finish = _profile(self._problem, node)
-        entry = _Entry(node.time, qfree, gate_finish, node)
+        kernel = self._kernel
+        key = kernel.filter_key(node)
+        qfree, gate_finish = kernel.profile(self._problem, node)
+        entry = self._entry_type(node.time, qfree, gate_finish, node)
         bucket = self._table.get(key)
         if bucket is None:
             self._table[key] = [entry]
             if self._m_group_size is not None:
                 self._m_group_size.observe(1)
+            return True
+        if self._admit_scan is not None:
+            code, new_bucket, killed_now = self._admit_scan(
+                bucket, entry, self._dominance, self._live_only
+            )
+            if code == 1:
+                self.equivalent_dropped += 1
+                if new_bucket is not None:
+                    self._table[key] = new_bucket
+                return False
+            if code == 2:
+                self.dominated_dropped += 1
+                if new_bucket is not None:
+                    self._table[key] = new_bucket
+                return False
+            self._table[key] = new_bucket
+            if killed_now:
+                self.killed += killed_now
             return True
         survivors: List[_Entry] = []
         for index, existing in enumerate(bucket):

@@ -24,20 +24,39 @@ import gc
 from contextlib import contextmanager
 from typing import Iterator
 
+#: Number of live ``pause_gc`` contexts.  A per-context "was enabled"
+#: snapshot breaks under out-of-order exits (generator-held contexts,
+#: batch drivers interleaving two searches): the first context to exit
+#: would re-enable the collector while the other is still inside its
+#: pause.  The collector is touched only on the 0→1 and 1→0 transitions
+#: of this counter, so any interleaving keeps it paused until the last
+#: context leaves.
+_depth = 0
+#: Whether the outermost entry actually disabled the collector (False
+#: when the caller manages GC itself and it was already off).
+_reenable = False
+
 
 @contextmanager
 def pause_gc() -> Iterator[None]:
     """Disable the cyclic collector for the duration of the block.
 
-    Restores the collector's previous state on exit (including on
-    exceptions such as search-budget aborts), so nested pauses and
-    externally-disabled collectors behave as expected.
+    Restores the collector's previous state when the last active pause
+    exits (including on exceptions such as search-budget aborts), so
+    nested or interleaved pauses and externally-disabled collectors
+    behave as expected.
     """
-    was_enabled = gc.isenabled()
-    if was_enabled:
-        gc.disable()
+    global _depth, _reenable
+    if _depth == 0:
+        _reenable = gc.isenabled()
+        if _reenable:
+            gc.disable()
+    _depth += 1
     try:
         yield
     finally:
-        if was_enabled:
-            gc.enable()
+        _depth -= 1
+        if _depth == 0:
+            if _reenable:
+                gc.enable()
+            _reenable = False

@@ -101,6 +101,34 @@ def _swap_split_delay(d: int, slack1: int, slack2: int, swap_len: int) -> int:
     return best
 
 
+def memo_key(node: SearchNode) -> Tuple:
+    """The :class:`HeuristicMemo` key of ``node`` (cached on the node).
+
+    The *effective signature*: per-qubit scheduling pointers, the
+    mapping after in-flight SWAPs take effect, and the in-flight profile
+    made relative to the node's cycle — everything ``h`` can depend on
+    once made relative to ``node.time``.  Shared by the scalar
+    :func:`heuristic_cost` path and the kernel backends' batch
+    evaluation so both populate and hit the same memo table.
+    """
+    key = node._mkey
+    if key is not None:
+        return key
+    eff_pos, _eff_inv = node.mapping_after_swaps()
+    inflight = node.inflight
+    if inflight:
+        time = node.time
+        key = (
+            node.ptr,
+            eff_pos,
+            tuple((f - time, k, a, b) for f, k, a, b in inflight),
+        )
+    else:
+        key = (node.ptr, eff_pos)
+    node._mkey = key
+    return key
+
+
 class HeuristicMemo:
     """Whole-evaluation cache for :func:`heuristic_cost`.
 
@@ -183,14 +211,7 @@ def heuristic_cost(
     ptr = node.ptr
 
     if memo is not None:
-        eff_pos, _eff_inv = node.mapping_after_swaps()
-        if inflight:
-            profile = []
-            for f, k, a, b in inflight:
-                profile.append((f - time, k, a, b))
-            key = (ptr, eff_pos, tuple(profile))
-        else:
-            key = (ptr, eff_pos)
+        key = memo_key(node)
         cached = memo.table.get(key)
         if cached is not None:
             memo.hits += 1

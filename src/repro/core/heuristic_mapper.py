@@ -32,7 +32,11 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel
 from ..obs.events import SearchProgressEvent
-from ..obs.schema import MAPPER_TOQM_HEURISTIC, base_stats
+from ..obs.schema import (
+    MAPPER_TOQM_HEURISTIC,
+    STAT_KERNEL_BACKEND,
+    base_stats,
+)
 from ..obs.telemetry import Telemetry, resolve
 from ..obs.tracer import SPAN_EXPAND, SPAN_FILTER, SPAN_HEURISTIC, SPAN_SEARCH
 from .expander import (
@@ -44,6 +48,7 @@ from .expander import (
 from .filters import StateFilter
 from .gcpause import pause_gc
 from .heuristic import HeuristicMemo, heuristic_cost
+from .kernels import resolve_backend
 from .problem import MappingProblem
 from .result import MappingResult, ScheduledOp
 from .state import SearchNode
@@ -128,6 +133,10 @@ class HeuristicMapper:
             never changes scores or node counts.
         telemetry: Optional observability context; ``None`` runs the
             uninstrumented fast path.
+        kernel: Kernel backend name (``pure``/``vector``/``compiled``) or
+            ``None`` for the auto-probe; windowed evaluation always runs
+            the pure scorer, but the seam and the recorded
+            ``kernel_backend`` stat stay uniform with the exact search.
     """
 
     #: Stats label this mapper writes into ``MappingResult.stats``.
@@ -147,6 +156,7 @@ class HeuristicMapper:
         max_expansions_per_level: int = 512,
         memoize: bool = True,
         telemetry: Optional[Telemetry] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if queue_trim >= queue_cap:
             raise ValueError("queue_trim must be smaller than queue_cap")
@@ -167,6 +177,7 @@ class HeuristicMapper:
         self.max_expansions_per_level = max_expansions_per_level
         self.memoize = memoize
         self.telemetry = telemetry
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     def map(
@@ -231,6 +242,7 @@ class HeuristicMapper:
         start_clock = _time.perf_counter()
         enabled = tele.enabled
         tracer = tele.tracer
+        kernel = resolve_backend(self.kernel)
         root = self._make_root(problem, initial_mapping)
         state_filter = StateFilter(
             problem,
@@ -275,7 +287,7 @@ class HeuristicMapper:
             if node.killed:
                 continue
             if node.is_terminal(problem.num_gates):
-                extra = {}
+                extra = {STAT_KERNEL_BACKEND: kernel.name}
                 if memo is not None:
                     extra["memo_hits"] = memo.hits
                     extra["memo_misses"] = memo.misses
@@ -304,16 +316,19 @@ class HeuristicMapper:
 
             if not enabled:
                 # Fast path: identical to the instrumented branch below
-                # minus every span/metric touch.
+                # minus every span/metric touch.  Children are scored as
+                # one batch through the kernel seam (bit-identical to
+                # per-node evaluation, including memo accounting).
                 children = expand(problem, node, self.config)
                 scored: List[SearchNode] = []
                 for child in children:
                     self._place_frontier(problem, child)
-                    child.h = heuristic_cost(
-                        problem, child, window=self.window, memo=memo
-                    )
-                    child.f = child.time + int(self.greediness * child.h)
                     scored.append(child)
+                kernel.heuristic_batch(
+                    problem, scored, window=self.window, memo=memo
+                )
+                for child in scored:
+                    child.f = child.time + int(self.greediness * child.h)
             else:
                 m_expanded.inc()
                 if expanded % progress_every == 0:

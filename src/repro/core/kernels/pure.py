@@ -1,0 +1,13 @@
+"""The ``pure`` backend: the python reference implementations.
+
+This is :class:`~repro.core.kernels.api.KernelBackend` unchanged — the
+bit-identical baseline every other backend is validated against.
+"""
+
+from __future__ import annotations
+
+from .api import KernelBackend
+
+
+class PureBackend(KernelBackend):
+    name = "pure"

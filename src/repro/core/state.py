@@ -57,9 +57,10 @@ class SearchNode:
             cannot starve themselves by blacklisting trimmed states.
 
     Derived-value caches (lazy, hot-path): ``_eff`` memoizes
-    :meth:`mapping_after_swaps`, ``_fkey`` the filter key, ``_profile``
-    the per-physical-qubit release profile the state filter computes, and
-    ``_frontier`` the dependency-ready gate list.  All are invalidated by
+    :meth:`mapping_after_swaps`, ``_fkey`` the filter key, ``_mkey``
+    the heuristic memo key (:func:`~repro.core.heuristic.memo_key`),
+    ``_profile`` the per-physical-qubit release profile the state filter
+    computes, and ``_frontier`` the dependency-ready gate list.  All are invalidated by
     :meth:`invalidate_caches` when the practical mapper mutates ``pos`` /
     ``inv`` in place during on-the-fly placement.  ``_tid`` is the lazy
     trace id :meth:`repro.obs.trace.TraceRecorder.node_id` assigns
@@ -85,6 +86,7 @@ class SearchNode:
         "dropped",
         "_eff",
         "_fkey",
+        "_mkey",
         "_profile",
         "_frontier",
         "_tid",
@@ -121,6 +123,7 @@ class SearchNode:
         self.dropped = False
         self._eff = None
         self._fkey = None
+        self._mkey = None
         self._profile = None
         self._frontier = None
         self._tid = -1
@@ -129,6 +132,7 @@ class SearchNode:
         """Drop derived-value caches after in-place ``pos``/``inv`` edits."""
         self._eff = None
         self._fkey = None
+        self._mkey = None
         self._profile = None
         # _frontier depends only on ptr/seq, which are never mutated in
         # place, so it deliberately survives placement updates.

@@ -66,6 +66,8 @@ STAT_INCUMBENT_DEPTH = "incumbent_depth"
 STAT_SWAPS_RESTRICTED = "swaps_restricted"
 STAT_SYMMETRY_PRUNED = "symmetry_pruned"
 STAT_MODE2_ROOTS = "mode2_roots"
+# Which kernel backend scored/filtered the search (pure/vector/compiled):
+STAT_KERNEL_BACKEND = "kernel_backend"
 
 # -- canonical mapper names ---------------------------------------------
 MAPPER_TOQM_OPTIMAL = "toqm-optimal"

@@ -1,0 +1,98 @@
+"""Regression tests for the re-entrant cyclic-GC pause.
+
+The original implementation snapshotted ``gc.isenabled()`` per context,
+which re-enabled the collector too early when two pauses exited out of
+order (a generator holding one search's context while a second search
+runs).  The depth-counter version only touches the collector on the
+outermost entry/exit.
+"""
+
+import gc
+
+import pytest
+
+from repro.core.gcpause import pause_gc
+
+
+@pytest.fixture(autouse=True)
+def _gc_enabled():
+    """Run every test from a known collector state and restore it."""
+    was = gc.isenabled()
+    gc.enable()
+    yield
+    if was:
+        gc.enable()
+    else:
+        gc.disable()
+
+
+def test_basic_pause_and_restore():
+    assert gc.isenabled()
+    with pause_gc():
+        assert not gc.isenabled()
+    assert gc.isenabled()
+
+
+def test_nested_lifo():
+    with pause_gc():
+        assert not gc.isenabled()
+        with pause_gc():
+            assert not gc.isenabled()
+        # Inner exit must not resume collection mid-outer-pause.
+        assert not gc.isenabled()
+    assert gc.isenabled()
+
+
+def test_non_lifo_exit_keeps_collector_paused():
+    # Simulate interleaved searches: A enters, B enters, A exits first.
+    a = pause_gc()
+    b = pause_gc()
+    a.__enter__()
+    b.__enter__()
+    assert not gc.isenabled()
+    a.__exit__(None, None, None)
+    # B is still inside its pause; the collector must stay off.
+    assert not gc.isenabled()
+    b.__exit__(None, None, None)
+    assert gc.isenabled()
+
+
+def test_exception_unwind_restores():
+    with pytest.raises(RuntimeError):
+        with pause_gc():
+            assert not gc.isenabled()
+            raise RuntimeError("search budget abort")
+    assert gc.isenabled()
+
+
+def test_exception_through_nested_pauses():
+    with pytest.raises(RuntimeError):
+        with pause_gc():
+            with pause_gc():
+                raise RuntimeError("inner abort")
+    assert gc.isenabled()
+
+
+def test_externally_disabled_collector_left_alone():
+    gc.disable()
+    with pause_gc():
+        assert not gc.isenabled()
+    # The caller managed GC itself; pause_gc must not re-enable it.
+    assert not gc.isenabled()
+    gc.enable()
+
+
+def test_generator_held_pause():
+    # A generator that pauses across yields: closing it after another
+    # pause has already come and gone must leave the collector enabled.
+    def searchlike():
+        with pause_gc():
+            yield
+
+    g = searchlike()
+    next(g)
+    with pause_gc():
+        assert not gc.isenabled()
+    assert not gc.isenabled()  # generator's pause still active
+    g.close()
+    assert gc.isenabled()

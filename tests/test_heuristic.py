@@ -188,8 +188,8 @@ class TestOptimizedMatchesReference:
     def _check_search(self, monkeypatch, circuit, arch, latency,
                       swap_aware=True, max_nodes=1500):
         from repro.core import OptimalMapper, SearchBudgetExceeded
-        from repro.core import astar as astar_mod
         from repro.core.heuristic import _heuristic_cost_reference
+        from repro.core.kernels import api as api_mod
 
         checked = [0]
 
@@ -208,9 +208,14 @@ class TestOptimizedMatchesReference:
             checked[0] += 1
             return got
 
-        monkeypatch.setattr(astar_mod, "heuristic_cost", checking)
+        # The search scores nodes through the kernel backend seam; pin
+        # the pure backend so every memo-miss evaluation runs the python
+        # heuristic under test (the compiled/vector backends have their
+        # own parity suite in test_kernels.py).
+        monkeypatch.setattr(api_mod, "heuristic_cost", checking)
         mapper = OptimalMapper(
-            arch, latency, informed=swap_aware, max_nodes=max_nodes
+            arch, latency, informed=swap_aware, max_nodes=max_nodes,
+            kernel="pure",
         )
         try:
             mapper.map(
@@ -344,8 +349,8 @@ class TestAblationPinsAgainstReference:
     def _counts(self, circuit, arch, latency, monkeypatch=None,
                 use_reference=False):
         from repro.core import OptimalMapper
-        from repro.core import astar as astar_mod
         from repro.core.heuristic import _heuristic_cost_reference
+        from repro.core.kernels import api as api_mod
 
         if use_reference:
             def reference_only(problem, node, window=None, swap_aware=True,
@@ -354,8 +359,13 @@ class TestAblationPinsAgainstReference:
                     problem, node, window=window, swap_aware=swap_aware
                 )
 
-            monkeypatch.setattr(astar_mod, "heuristic_cost", reference_only)
-        mapper = OptimalMapper(arch, latency)
+            # Drive the whole search with the reference heuristic via
+            # the kernel-backend seam (pure backend evaluates through
+            # ``api_mod.heuristic_cost`` node by node).
+            monkeypatch.setattr(api_mod, "heuristic_cost", reference_only)
+        mapper = OptimalMapper(
+            arch, latency, kernel="pure" if use_reference else None
+        )
         result = mapper.map(
             circuit, initial_mapping=list(range(arch.num_qubits))
         )
