@@ -313,11 +313,47 @@ def main(argv=None) -> int:
              "the resolved backend is recorded per trajectory entry and "
              "bench-trend only compares entries of the same backend",
     )
+    parser.add_argument(
+        "--flight-recorder", default=None, metavar="DIR",
+        help="attach the passive flight recorder (resource sampler + "
+             "sampling profiler, search stays on the fast path) across "
+             "the whole run; writes flight.jsonl + profile.folded under "
+             "DIR and a summary into the report",
+    )
     args = parser.parse_args(argv)
+
+    recorder = None
+    if args.flight_recorder:
+        from repro.obs import JsonlSink, Telemetry
+
+        os.makedirs(args.flight_recorder, exist_ok=True)
+        recorder = Telemetry(
+            sink=JsonlSink(
+                os.path.join(args.flight_recorder, "flight.jsonl")
+            ),
+            sample_resources=True,
+            profile=True,
+            profile_collapsed=os.path.join(
+                args.flight_recorder, "profile.folded"
+            ),
+            hot_path=False,
+        )
 
     backend = resolve_backend(args.kernel).name
     suites = run_suites(args.tiny, pruned=not args.no_prune,
                         kernel=args.kernel)
+    flight_summary = None
+    if recorder is not None:
+        final = recorder.finish() or {}
+        profile = final.get("profile", {})
+        flight_summary = {
+            "directory": args.flight_recorder,
+            "resources": final.get("resources", {}),
+            "profile": {
+                key: profile.get(key)
+                for key in ("samples", "kernel_samples", "kernel_pct")
+            },
+        }
     report = {
         "schema": "repro.bench_search/2",
         "mode": "tiny" if args.tiny else "full",
@@ -328,6 +364,8 @@ def main(argv=None) -> int:
         "baseline": dict(BASELINE),
         "suites": suites,
     }
+    if flight_summary is not None:
+        report["flight_recorder"] = flight_summary
     if not args.tiny:
         current = suites[MICRO_SUITE]["nodes_per_sec"]
         report["speedup_vs_baseline"] = {

@@ -20,7 +20,13 @@ Design constraints worth knowing:
   objects — mappers constructed with ``telemetry=None`` (the default)
   pickle fine; telemetry sinks hold file handles and do not, so
   ``map_many`` refuses instrumented mappers up front rather than failing
-  inside the pool with an opaque pickling error.
+  inside the pool with an opaque pickling error.  Fleet observability
+  goes through ``telemetry_spec`` instead: a picklable
+  :class:`~repro.obs.telemetry.TelemetrySpec` that each worker process
+  builds exactly once, writing resource samples plus per-task
+  ``worker_task`` records into its own JSONL shard; the coordinator
+  merges shards into a fleet rollup (:mod:`repro.obs.export`) when the
+  batch returns.
 * ``max_workers=1`` (or a single-CPU machine with ``max_workers=None``)
   runs every task in-process with no pool at all, which keeps coverage,
   debugging and profiling simple and avoids fork overhead where it could
@@ -34,6 +40,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -51,7 +58,8 @@ from ..obs.schema import (
     STAT_MODE2_ROOTS,
     base_stats,
 )
-from ..obs.telemetry import Telemetry, resolve
+from ..obs.runtime import peak_rss_bytes
+from ..obs.telemetry import Telemetry, TelemetrySpec, resolve
 from ..obs.trace import (
     INCUMBENT_SEED,
     PRUNE_SYMMETRY,
@@ -93,6 +101,10 @@ class BatchRecord:
     stats: Dict = field(default_factory=dict)
     error: Optional[str] = None
     result: Optional[MappingResult] = None
+    #: Worker-process peak RSS after this task (``getrusage``; a
+    #: process-lifetime high-water mark, so within one worker it is
+    #: monotone across tasks).
+    peak_rss_bytes: Optional[int] = None
 
 
 def _run_task(
@@ -122,6 +134,7 @@ def _run_task(
             seconds=time.perf_counter() - start,
             stats=dict(exc.partial_stats),
             error=f"budget exceeded: {exc}",
+            peak_rss_bytes=peak_rss_bytes(),
         )
     except Exception as exc:  # noqa: BLE001 - containment is the point
         return BatchRecord(
@@ -129,6 +142,7 @@ def _run_task(
             ok=False,
             seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            peak_rss_bytes=peak_rss_bytes(),
         )
     return BatchRecord(
         label=task.label,
@@ -138,7 +152,65 @@ def _run_task(
         swaps=result.num_inserted_swaps,
         stats=dict(result.stats),
         result=result if keep_results else None,
+        peak_rss_bytes=peak_rss_bytes(),
     )
+
+
+#: Per-process fleet telemetry, built lazily from the first
+#: :class:`TelemetrySpec` seen and cached for the worker's lifetime
+#: (pool workers have no shutdown hook — shards stay durable because
+#: ``JsonlSink`` flushes every record and the sampler is a daemon
+#: thread that dies with the process).  Keyed by shard directory so a
+#: long-lived process serving two fleets keeps the shards apart.
+_WORKER_TELEMETRY: Dict[str, Telemetry] = {}
+
+
+def _worker_telemetry(spec: Optional[TelemetrySpec]) -> Optional[Telemetry]:
+    """This process's fleet telemetry for ``spec`` (built on first use)."""
+    if spec is None:
+        return None
+    telemetry = _WORKER_TELEMETRY.get(spec.directory)
+    if telemetry is None:
+        telemetry = spec.build(os.getpid())
+        _WORKER_TELEMETRY[spec.directory] = telemetry
+        if telemetry.sink is not None:
+            telemetry.sink.emit({
+                "type": "worker_meta",
+                "worker": os.getpid(),
+                "pid": os.getpid(),
+                "started_ts": time.time(),
+                "sample_resources": spec.sample_resources,
+                "resource_interval_s": spec.resource_interval,
+                "profile": spec.profile,
+            })
+    return telemetry
+
+
+def _emit_worker_task(
+    telemetry: Optional[Telemetry],
+    record: BatchRecord,
+    queue_wait_s: Optional[float],
+) -> None:
+    """One ``worker_task`` shard record — everything the fleet rollup
+    needs (who ran what, for how long, after waiting how long, at what
+    peak RSS) without reading coordinator state."""
+    if telemetry is None or telemetry.sink is None:
+        return
+    telemetry.sink.emit({
+        "type": "worker_task",
+        "worker": os.getpid(),
+        "label": record.label,
+        "ok": record.ok,
+        "seconds": round(record.seconds, 6),
+        "queue_wait_s": (
+            round(max(0.0, queue_wait_s), 6)
+            if queue_wait_s is not None else None
+        ),
+        "nodes_expanded": int(record.stats.get("nodes_expanded", 0) or 0),
+        "depth": record.depth,
+        "peak_rss_bytes": record.peak_rss_bytes,
+        "ts": time.time(),
+    })
 
 
 def _run_chunk(
@@ -147,12 +219,26 @@ def _run_chunk(
     max_seconds: Optional[float],
     keep_results: bool,
     validate: bool,
+    telemetry_spec: Optional[TelemetrySpec] = None,
+    submitted_ts: Optional[float] = None,
 ) -> List[BatchRecord]:
-    """Pool worker: run a chunk of tasks sequentially in one process."""
-    return [
-        _run_task(task, max_nodes, max_seconds, keep_results, validate)
-        for task in chunk
-    ]
+    """Pool worker: run a chunk of tasks sequentially in one process.
+
+    ``submitted_ts`` is the coordinator's wall-clock submission time;
+    each task's queue wait is measured against it, so later tasks in a
+    chunk correctly count their chunk-mates' run time as waiting.
+    """
+    telemetry = _worker_telemetry(telemetry_spec)
+    records = []
+    for task in chunk:
+        queue_wait = (
+            time.time() - submitted_ts if submitted_ts is not None else None
+        )
+        record = _run_task(task, max_nodes, max_seconds, keep_results,
+                           validate)
+        _emit_worker_task(telemetry, record, queue_wait)
+        records.append(record)
+    return records
 
 
 def _default_workers() -> int:
@@ -168,7 +254,8 @@ def _reject_unpicklable_telemetry(tasks: Sequence[BatchTask]) -> None:
             raise ValueError(
                 f"task {task.label!r}: mappers with live telemetry cannot "
                 "cross a process boundary (sinks hold file handles); "
-                "run with max_workers=1 or detach telemetry"
+                "run with max_workers=1, detach telemetry, or pass "
+                "telemetry_spec= for per-worker fleet telemetry"
             )
 
 
@@ -181,6 +268,7 @@ def map_many(
     max_seconds: Optional[float] = None,
     keep_results: bool = True,
     validate: bool = True,
+    telemetry_spec: Optional[TelemetrySpec] = None,
 ) -> List[BatchRecord]:
     """Route every task, in parallel when it can pay off.
 
@@ -197,6 +285,11 @@ def map_many(
             record.  Turn off for large sweeps where only depth/stats
             matter — results are the bulk of the pickled payload.
         validate: Structurally verify each schedule in the worker.
+        telemetry_spec: Optional fleet-telemetry recipe; each worker
+            process writes its own JSONL shard under
+            ``telemetry_spec.directory`` and the coordinator writes the
+            merged ``fleet.json`` rollup before returning.  Works on the
+            in-process path too (one shard).
 
     Returns:
         One :class:`BatchRecord` per task, submission-ordered.
@@ -206,10 +299,17 @@ def map_many(
         return []
     workers = _default_workers() if max_workers is None else max_workers
     if workers <= 1:
-        return [
-            _run_task(task, max_nodes, max_seconds, keep_results, validate)
-            for task in tasks
-        ]
+        telemetry = _worker_telemetry(telemetry_spec)
+        submitted = time.time()
+        records = []
+        for task in tasks:
+            queue_wait = time.time() - submitted
+            record = _run_task(task, max_nodes, max_seconds, keep_results,
+                               validate)
+            _emit_worker_task(telemetry, record, queue_wait)
+            records.append(record)
+        _write_rollup(telemetry_spec)
+        return records
 
     _reject_unpicklable_telemetry(tasks)
     if chunk_size is None:
@@ -222,7 +322,7 @@ def map_many(
         futures = [
             pool.submit(
                 _run_chunk, chunk, max_nodes, max_seconds, keep_results,
-                validate,
+                validate, telemetry_spec, time.time(),
             )
             for chunk in chunks
         ]
@@ -238,7 +338,17 @@ def map_many(
                     )
                     for task in chunk
                 )
+    _write_rollup(telemetry_spec)
     return records
+
+
+def _write_rollup(telemetry_spec: Optional[TelemetrySpec]) -> None:
+    """Coordinator-side shard merge (no-op without a spec)."""
+    if telemetry_spec is None:
+        return
+    from ..obs.export import write_fleet_rollup
+
+    write_fleet_rollup(telemetry_spec.directory)
 
 
 # ----------------------------------------------------------------------
@@ -329,6 +439,35 @@ def _worker_trace_telemetry(
     return Telemetry(search_trace=recorder), recorder
 
 
+def _emit_root_task(
+    telemetry: Optional[Telemetry],
+    index: int,
+    ok: bool,
+    stats: Dict,
+    seconds: float,
+    queue_wait_s: Optional[float],
+    depth: Optional[int],
+) -> None:
+    """Fan-out twin of :func:`_emit_worker_task`: one record per root."""
+    if telemetry is None or telemetry.sink is None:
+        return
+    telemetry.sink.emit({
+        "type": "worker_task",
+        "worker": os.getpid(),
+        "label": f"root-{index}",
+        "ok": ok,
+        "seconds": round(seconds, 6),
+        "queue_wait_s": (
+            round(max(0.0, queue_wait_s), 6)
+            if queue_wait_s is not None else None
+        ),
+        "nodes_expanded": int(stats.get("nodes_expanded", 0) or 0),
+        "depth": depth,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "ts": time.time(),
+    })
+
+
 def _run_mode2_root(payload) -> Tuple[int, bool, Optional[MappingResult],
                                       Dict, Optional[str],
                                       Optional[List[Dict]]]:
@@ -340,18 +479,29 @@ def _run_mode2_root(payload) -> Tuple[int, bool, Optional[MappingResult],
     ``trace_records`` streams the root's expansion-level trace chunk back
     when the coordinator requested one (None otherwise).
     """
-    mapper, circuit, mapping, index, trace_spec = payload
+    mapper, circuit, mapping, index, trace_spec, fleet_spec, submitted_ts = (
+        payload
+    )
+    fleet = _worker_telemetry(fleet_spec)
+    queue_wait = (
+        time.time() - submitted_ts if submitted_ts is not None else None
+    )
     mapper.shared_incumbent = _SHARED_BOUND
     telemetry, recorder = _worker_trace_telemetry(trace_spec)
     if telemetry is not None:
         mapper.telemetry = telemetry
+    start = time.perf_counter()
     try:
         result = mapper.map(circuit, initial_mapping=list(mapping))
     except SearchBudgetExceeded as exc:
         stats = dict(exc.partial_stats)
+        _emit_root_task(fleet, index, False, stats,
+                        time.perf_counter() - start, queue_wait, None)
         return (index, False, None, stats,
                 stats.get(STAT_BUDGET_REASON, "unknown"),
                 recorder.drain() if recorder is not None else None)
+    _emit_root_task(fleet, index, True, dict(result.stats),
+                    time.perf_counter() - start, queue_wait, result.depth)
     return (index, True, result, dict(result.stats), None,
             recorder.drain() if recorder is not None else None)
 
@@ -398,6 +548,12 @@ def map_mode2_fanout(
     tele = resolve(getattr(mapper, "telemetry", None))
     trace = tele.search_trace if tele.enabled else None
     trace_spec = trace.spec() if trace is not None else None
+    # Fleet telemetry rides the same attribute convention: the CLI (or
+    # any caller) sets ``mapper.telemetry_spec`` and every fan-out worker
+    # writes its own shard; ``conclude`` merges them into the rollup.
+    fleet_spec: Optional[TelemetrySpec] = getattr(
+        mapper, "telemetry_spec", None
+    )
 
     start = time.perf_counter()
     problem = MappingProblem(circuit, mapper.coupling, mapper.latency)
@@ -484,7 +640,7 @@ def map_mode2_fanout(
                     time.perf_counter() - start
                 )
             outcome = _run_mode2_root_inproc(
-                worker, circuit, mapping, index, trace_spec
+                worker, circuit, mapping, index, trace_spec, fleet_spec,
             )
             absorb(outcome)
             if remaining_nodes is not None:
@@ -499,10 +655,12 @@ def map_mode2_fanout(
             initargs=(shared,),
         ) as pool:
             template = _worker_mapper(mapper)
+            submitted_ts = time.time()
             futures = [
                 pool.submit(
                     _run_mode2_root,
-                    (template, circuit, mapping, index, trace_spec),
+                    (template, circuit, mapping, index, trace_spec,
+                     fleet_spec, submitted_ts),
                 )
                 for index, mapping in enumerate(mappings)
             ]
@@ -551,6 +709,7 @@ def map_mode2_fanout(
             ))
         if trace is not None:
             trace.summary(stats, scope="aggregate")
+        _write_rollup(fleet_spec)
 
     if not failures:
         if best is not None:
@@ -607,19 +766,26 @@ def map_mode2_fanout(
 def _run_mode2_root_inproc(
     worker, circuit: Circuit, mapping, index: int,
     trace_spec: Optional[TraceSpec] = None,
+    fleet_spec: Optional[TelemetrySpec] = None,
 ) -> Tuple[int, bool, Optional[MappingResult], Dict, Optional[str],
            Optional[List[Dict]]]:
     """Sequential-path twin of :func:`_run_mode2_root` (no global handle)."""
+    fleet = _worker_telemetry(fleet_spec)
     telemetry, recorder = _worker_trace_telemetry(trace_spec)
     if telemetry is not None:
         worker.telemetry = telemetry
+    start = time.perf_counter()
     try:
         result = worker.map(circuit, initial_mapping=list(mapping))
     except SearchBudgetExceeded as exc:
         stats = dict(exc.partial_stats)
+        _emit_root_task(fleet, index, False, stats,
+                        time.perf_counter() - start, None, None)
         return (index, False, None, stats,
                 stats.get(STAT_BUDGET_REASON, "unknown"),
                 recorder.drain() if recorder is not None else None)
+    _emit_root_task(fleet, index, True, dict(result.stats),
+                    time.perf_counter() - start, None, result.depth)
     return (index, True, result, dict(result.stats), None,
             recorder.drain() if recorder is not None else None)
 

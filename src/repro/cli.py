@@ -7,6 +7,9 @@ Commands:
 * ``diagnose`` — analyze an expansion-level search trace recorded with
   ``map --search-trace``: pruning attribution, heuristic-accuracy
   audit, frontier dynamics, incumbent timeline;
+* ``obs-report`` — render a telemetry JSONL file or a fleet shard
+  directory (``map-batch --telemetry-dir``) as a human summary table
+  or Prometheus text exposition format;
 * ``benchmarks`` — list the regenerable benchmark names;
 * ``bench-trend`` — tabulate the recorded search-perf trajectory
   (``benchmarks/results/BENCH_search.json``); ``--check`` turns it
@@ -118,11 +121,23 @@ def _build_mapper(name: str, coupling, latency: LatencyModel, args,
 
 
 def _build_telemetry(args) -> Optional[Telemetry]:
-    """Telemetry context for ``map``; None when no flag asks for one."""
+    """Telemetry context for ``map``; None when no flag asks for one.
+
+    Span/metrics/progress flags instrument the search itself
+    (``hot_path=True`` — the mapper runs its instrumented branch);
+    ``--sample-resources`` / ``--profile`` alone attach only the
+    flight recorder, leaving the search on the uninstrumented fast
+    path.
+    """
     search_trace_path = getattr(args, "search_trace", None)
-    if not (
+    hot_path = bool(
         args.trace or args.metrics_out or args.progress or search_trace_path
-    ):
+    )
+    flight_recorder = bool(
+        getattr(args, "sample_resources", False)
+        or getattr(args, "profile", False)
+    )
+    if not (hot_path or flight_recorder):
         return None
     if args.metrics_out:
         try:  # fail now, not mid-search when the sink lazily opens
@@ -154,12 +169,45 @@ def _build_telemetry(args) -> Optional[Telemetry]:
         sink=sink,
         progress_every=args.progress_every,
         search_trace=search_trace,
+        sample_resources=getattr(args, "sample_resources", False),
+        resource_interval=getattr(args, "resource_interval", 0.05),
+        profile=getattr(args, "profile", False),
+        profile_interval=getattr(args, "profile_interval", 0.005),
+        profile_collapsed=getattr(args, "profile_out", None),
+        hot_path=hot_path,
     )
     if args.progress:
         telemetry.progress.subscribe(
             lambda event: print(event, file=sys.stderr)
         )
     return telemetry
+
+
+def _finish_telemetry(args, telemetry: Optional[Telemetry]) -> None:
+    """Flush one ``map`` run's telemetry and report where it went."""
+    if telemetry is None:
+        return
+    record = telemetry.finish() or {}
+    if getattr(args, "sample_resources", False) and "resources" in record:
+        res = record["resources"]
+        peak = res.get("peak_rss_bytes") or 0
+        print(
+            f"resources: peak_rss={peak / (1024 * 1024):.1f}MiB "
+            f"cpu_user={res.get('cpu_user_s', 0.0)}s "
+            f"cpu_sys={res.get('cpu_sys_s', 0.0)}s "
+            f"gc_windows={res.get('gc_windows', 0)} "
+            f"gc_suspended={res.get('gc_suspended_s', 0.0)}s",
+            file=sys.stderr,
+        )
+    if getattr(args, "profile", False) and telemetry.profiler is not None:
+        print(telemetry.profiler.render_table(), file=sys.stderr)
+        if getattr(args, "profile_out", None):
+            print(f"wrote collapsed stacks to {args.profile_out}",
+                  file=sys.stderr)
+    if args.metrics_out:
+        print(f"wrote telemetry to {args.metrics_out}")
+    if getattr(args, "search_trace", None):
+        print(f"wrote search trace to {args.search_trace}")
 
 
 def _print_stats(stats: dict) -> None:
@@ -176,20 +224,22 @@ def _cmd_map(args) -> int:
     latency = _LATENCIES[args.latency]
     telemetry = _build_telemetry(args)
     mapper = _build_mapper(args.mapper, coupling, latency, args, telemetry)
+    if getattr(args, "telemetry_dir", None):
+        # Fleet telemetry for the mode-2 fan-out workers: each worker
+        # process writes its own shard under this directory and the
+        # coordinator merges them (see repro.obs.export).
+        from .obs.telemetry import TelemetrySpec
+
+        mapper.telemetry_spec = TelemetrySpec(directory=args.telemetry_dir)
     try:
         result = mapper.map(circuit)
     except SearchBudgetExceeded as exc:
         print(f"search budget exceeded: {exc}", file=sys.stderr)
         if exc.partial_stats:
             _print_stats(exc.partial_stats)
-        if telemetry is not None:
-            if args.trace:
-                print(telemetry.tracer.render_tree())
-            telemetry.finish()
-            if args.metrics_out:
-                print(f"wrote telemetry to {args.metrics_out}")
-            if args.search_trace:
-                print(f"wrote search trace to {args.search_trace}")
+        if telemetry is not None and args.trace:
+            print(telemetry.tracer.render_tree())
+        _finish_telemetry(args, telemetry)
         return 2
     validate_result(result)
     print(result.describe(max_ops=args.max_ops))
@@ -207,12 +257,7 @@ def _cmd_map(args) -> int:
         with open(args.qasm_out, "w", encoding="utf-8") as handle:
             handle.write(to_qasm(result.to_physical_circuit()))
         print(f"\nwrote transformed circuit to {args.qasm_out}")
-    if telemetry is not None:
-        telemetry.finish()
-        if args.metrics_out:
-            print(f"wrote telemetry to {args.metrics_out}")
-        if args.search_trace:
-            print(f"wrote search trace to {args.search_trace}")
+    _finish_telemetry(args, telemetry)
     return 0
 
 
@@ -257,12 +302,19 @@ def _cmd_map_batch(args) -> int:
             )
         )
 
+    telemetry_spec = None
+    if args.telemetry_dir:
+        from .obs.telemetry import TelemetrySpec
+
+        telemetry_spec = TelemetrySpec(directory=args.telemetry_dir)
+
     records = map_many(
         tasks,
         max_workers=args.workers,
         max_nodes=args.max_nodes,
         max_seconds=args.budget,
         keep_results=False,
+        telemetry_spec=telemetry_spec,
     )
 
     columns = [k for k in REQUIRED_STAT_KEYS if k != "mapper"]
@@ -295,6 +347,13 @@ def _cmd_map_batch(args) -> int:
         f"{totals['total_nodes_expanded']} nodes expanded, "
         f"{totals['total_seconds']:.2f}s total mapping time"
     )
+    if telemetry_spec is not None:
+        from .obs.export import FLEET_ROLLUP_NAME
+
+        print(
+            f"wrote worker telemetry shards and {FLEET_ROLLUP_NAME} to "
+            f"{args.telemetry_dir} (render with `repro obs-report`)"
+        )
 
     if args.json_out:
         payload = {
@@ -306,6 +365,8 @@ def _cmd_map_batch(args) -> int:
                     "depth": rec.depth,
                     "swaps": rec.swaps,
                     "seconds": rec.seconds,
+                    "wall_time_s": rec.seconds,
+                    "peak_rss_bytes": rec.peak_rss_bytes,
                     "error": rec.error,
                     "stats": stats_row(
                         rec.stats,
@@ -319,6 +380,64 @@ def _cmd_map_batch(args) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote batch report to {args.json_out}")
     return 0 if all(rec.ok for rec in records) else 2
+
+
+def _cmd_obs_report(args) -> int:
+    """Render telemetry: one run's JSONL or a fleet shard directory."""
+    import os
+
+    from .obs.export import (
+        fleet_rollup,
+        fleet_to_prometheus,
+        list_shards,
+        render_fleet_table,
+        render_run_summary,
+        run_to_prometheus,
+        summarize_run,
+    )
+    from .obs.sinks import read_jsonl
+
+    if os.path.isdir(args.path):
+        if not list_shards(args.path):
+            print(
+                f"error: no worker-*.jsonl shards in {args.path} — record "
+                "some with `repro map-batch ... --telemetry-dir <dir>`",
+                file=sys.stderr,
+            )
+            return 1
+        rollup = fleet_rollup(args.path)
+        output = (
+            fleet_to_prometheus(rollup) if args.format == "prom"
+            else render_fleet_table(rollup)
+        )
+    else:
+        try:
+            records = read_jsonl(args.path)
+        except OSError as exc:
+            print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not records:
+            print(
+                f"error: no telemetry records in {args.path} — record some "
+                "with `repro map ... --metrics-out <path>`",
+                file=sys.stderr,
+            )
+            return 1
+        summary = summarize_run(records)
+        output = (
+            run_to_prometheus(summary) if args.format == "prom"
+            else render_run_summary(summary, top_n=args.top)
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(output if output.endswith("\n") else output + "\n")
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(output)
+    return 0
 
 
 def _cmd_benchmarks(_args) -> int:
@@ -544,6 +663,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--search-trace-sample", type=int, default=64, metavar="N",
         help="sample mode: record every Nth expand/prune event",
     )
+    map_cmd.add_argument(
+        "--sample-resources", action="store_true",
+        help="flight recorder: sample RSS/CPU/GC in the background "
+             "(records go to --metrics-out when set)",
+    )
+    map_cmd.add_argument(
+        "--resource-interval", type=float, default=0.05, metavar="S",
+        help="seconds between resource samples",
+    )
+    map_cmd.add_argument(
+        "--profile", action="store_true",
+        help="flight recorder: sampling wall-clock profiler with span "
+             "and kernel-backend attribution (table on stderr)",
+    )
+    map_cmd.add_argument(
+        "--profile-interval", type=float, default=0.005, metavar="S",
+        help="seconds between profiler stack samples",
+    )
+    map_cmd.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="write collapsed stacks (folded format) for flamegraph "
+             "tooling",
+    )
+    map_cmd.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="mode-2 fan-out: per-worker telemetry shards + fleet.json "
+             "rollup under DIR",
+    )
     map_cmd.set_defaults(func=_cmd_map)
 
     batch_cmd = sub.add_parser(
@@ -589,7 +736,35 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--seed", type=int, default=0)
     batch_cmd.add_argument("--json-out", default=None,
                            help="write the per-circuit report as JSON")
+    batch_cmd.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="fleet telemetry: per-worker JSONL shards (resource samples "
+             "+ per-task records) and a fleet.json rollup under DIR",
+    )
     batch_cmd.set_defaults(func=_cmd_map_batch)
+
+    obs_cmd = sub.add_parser(
+        "obs-report",
+        help="summarize telemetry JSONL or a fleet shard directory",
+    )
+    obs_cmd.add_argument(
+        "path",
+        help="telemetry JSONL file (map --metrics-out) or shard "
+             "directory (map-batch --telemetry-dir)",
+    )
+    obs_cmd.add_argument(
+        "--format", default="table", choices=["table", "prom"],
+        help="human table or Prometheus text exposition format",
+    )
+    obs_cmd.add_argument(
+        "--top", type=int, default=10,
+        help="rows per profiler attribution table",
+    )
+    obs_cmd.add_argument(
+        "--out", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    obs_cmd.set_defaults(func=_cmd_obs_report)
 
     bench_cmd = sub.add_parser("benchmarks", help="list benchmark names")
     bench_cmd.set_defaults(func=_cmd_benchmarks)

@@ -21,8 +21,9 @@ manage GC themselves are left alone.
 from __future__ import annotations
 
 import gc
+import time as _time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Dict, Iterator
 
 #: Number of live ``pause_gc`` contexts.  A per-context "was enabled"
 #: snapshot breaks under out-of-order exits (generator-held contexts,
@@ -36,6 +37,35 @@ _depth = 0
 #: when the caller manages GC itself and it was already off).
 _reenable = False
 
+# --- suspension-window accounting --------------------------------------
+# The resource sampler (obs/runtime.py) reports GC pauses measured via
+# ``gc.callbacks`` — which by construction see *nothing* while the
+# collector is suspended here.  These counters close that blind spot:
+# they record how many suspension windows ran and for how long, so a
+# resource trail can distinguish "no GC pauses because the heap was
+# quiet" from "no GC pauses because the search had the collector off".
+_windows = 0
+_suspended_total = 0.0
+_window_started: float = 0.0
+
+
+def suspension_stats() -> Dict[str, float]:
+    """Cumulative ``pause_gc`` accounting for this process.
+
+    Returns ``{"windows", "suspended_s", "active"}`` where
+    ``suspended_s`` includes the currently-open window (when one is
+    active) so samplers polling mid-search see time advance.
+    """
+    total = _suspended_total
+    active = _depth > 0
+    if active:
+        total += _time.perf_counter() - _window_started
+    return {
+        "windows": _windows,
+        "suspended_s": total,
+        "active": active,
+    }
+
 
 @contextmanager
 def pause_gc() -> Iterator[None]:
@@ -46,17 +76,20 @@ def pause_gc() -> Iterator[None]:
     nested or interleaved pauses and externally-disabled collectors
     behave as expected.
     """
-    global _depth, _reenable
+    global _depth, _reenable, _windows, _suspended_total, _window_started
     if _depth == 0:
         _reenable = gc.isenabled()
         if _reenable:
             gc.disable()
+        _windows += 1
+        _window_started = _time.perf_counter()
     _depth += 1
     try:
         yield
     finally:
         _depth -= 1
         if _depth == 0:
+            _suspended_total += _time.perf_counter() - _window_started
             if _reenable:
                 gc.enable()
             _reenable = False

@@ -11,7 +11,14 @@ Three cooperating pieces, bundled by :class:`Telemetry`:
   stream emitted every N expansions;
 * :class:`TraceRecorder` — an expansion-level search trace with exact
   prune attribution (which rule discarded which subtree), analyzed
-  offline by ``repro diagnose``.
+  offline by ``repro diagnose``;
+* :class:`ResourceSampler` / :class:`SamplingProfiler` — the flight
+  recorder: background RSS/CPU/GC sampling and a wall-clock sampling
+  profiler with span + kernel-backend attribution, both off the hot
+  path (compose with ``hot_path=False`` for near-zero overhead);
+* :class:`TelemetrySpec` — picklable per-worker telemetry recipe for
+  process-pool fleets; shards merge into a rollup via
+  :mod:`repro.obs.export`.
 
 :mod:`repro.obs.schema` defines the normalized ``MappingResult.stats``
 key set every mapper emits.  The default path (``telemetry=None``) is
@@ -28,8 +35,16 @@ from .schema import (
     stats_row,
     validate_stats,
 )
+from .profiler import DEFAULT_PROFILE_INTERVAL, SamplingProfiler
+from .runtime import (
+    DEFAULT_RESOURCE_INTERVAL,
+    GcPauseTracker,
+    ResourceSampler,
+    peak_rss_bytes,
+    read_rss_bytes,
+)
 from .sinks import FanoutSink, JsonlSink, MemorySink, Sink, read_jsonl
-from .telemetry import NULL_TELEMETRY, Telemetry, resolve
+from .telemetry import NULL_TELEMETRY, Telemetry, TelemetrySpec, resolve
 from .trace import (
     REASON_TO_STAT,
     TRACE_MODES,
@@ -60,6 +75,14 @@ __all__ = [
     "read_jsonl",
     "TraceRecorder",
     "TraceSpec",
+    "TelemetrySpec",
+    "ResourceSampler",
+    "SamplingProfiler",
+    "GcPauseTracker",
+    "DEFAULT_RESOURCE_INTERVAL",
+    "DEFAULT_PROFILE_INTERVAL",
+    "peak_rss_bytes",
+    "read_rss_bytes",
     "TRACE_MODES",
     "REASON_TO_STAT",
     "REQUIRED_STAT_KEYS",

@@ -1,0 +1,444 @@
+"""Telemetry export: shard merging, human summaries, Prometheus text.
+
+Two consumers, one module:
+
+* **Fleet rollups** — a batch run with ``--telemetry-dir`` leaves one
+  JSONL shard per worker process (``worker-<pid>.jsonl``, written by
+  :class:`~repro.obs.telemetry.TelemetrySpec`-built telemetries).
+  :func:`fleet_rollup` merges them into per-worker aggregates plus a
+  fleet-wide view (circuits/min, nodes/sec, queue-wait vs run time,
+  peak RSS per worker); :func:`write_fleet_rollup` persists it as
+  ``fleet.json`` next to the shards.
+* **Run summaries** — a single-run telemetry JSONL (spans, progress,
+  metrics, resource, profile records) summarized by
+  :func:`summarize_run`.
+
+Both render two ways: a human table (``render_fleet_table`` /
+``render_run_summary``, the default ``repro obs-report`` output) and
+Prometheus text exposition format (``fleet_to_prometheus`` /
+``run_to_prometheus``) for scrape-file ingestion (node-exporter textfile
+collector, pushgateway, CI artifact diffing).
+
+Prometheus conventions: metric names are sanitized (dots → underscores)
+and prefixed ``repro_``; per-worker series carry a ``worker`` label;
+histogram summaries export ``_count`` / ``_sum`` / ``_min`` / ``_max``
+scalars (the registry's power-of-two buckets are not cumulative
+``le``-buckets, so exporting them as such would lie to PromQL).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .sinks import read_jsonl
+
+#: Rollup filename written next to the worker shards.
+FLEET_ROLLUP_NAME = "fleet.json"
+
+_SHARD_GLOB = "worker-*.jsonl"
+
+
+def list_shards(directory: str) -> List[str]:
+    """Worker shard paths under ``directory``, sorted for determinism."""
+    return sorted(glob.glob(os.path.join(directory, _SHARD_GLOB)))
+
+
+# ----------------------------------------------------------------------
+# Fleet rollup
+# ----------------------------------------------------------------------
+
+def _summarize_shard(path: str) -> Dict:
+    """Per-worker aggregates from one shard's records."""
+    records = read_jsonl(path)
+    meta: Dict = {}
+    tasks = ok = 0
+    run_s = queue_wait_s = 0.0
+    nodes = 0
+    peak_rss = 0
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    resource_samples = 0
+    last_resource: Dict = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "worker_meta" and not meta:
+            meta = record
+        elif kind == "worker_task":
+            tasks += 1
+            ok += 1 if record.get("ok") else 0
+            run_s += float(record.get("seconds") or 0.0)
+            queue_wait_s += float(record.get("queue_wait_s") or 0.0)
+            nodes += int(record.get("nodes_expanded") or 0)
+            rss = record.get("peak_rss_bytes")
+            if rss and rss > peak_rss:
+                peak_rss = rss
+            ts = record.get("ts")
+            if ts is not None:
+                if first_ts is None or ts < first_ts:
+                    first_ts = ts
+                if last_ts is None or ts > last_ts:
+                    last_ts = ts
+        elif kind == "resource":
+            resource_samples += 1
+            last_resource = record
+            rss = record.get("peak_rss_bytes")
+            if rss and rss > peak_rss:
+                peak_rss = rss
+    worker = meta.get("worker")
+    if worker is None:
+        match = re.search(r"worker-(\w+)\.jsonl$", os.path.basename(path))
+        worker = match.group(1) if match else os.path.basename(path)
+    started = meta.get("started_ts", first_ts)
+    return {
+        "worker": worker,
+        "shard": os.path.basename(path),
+        "tasks": tasks,
+        "ok": ok,
+        "failed": tasks - ok,
+        "run_s": round(run_s, 6),
+        "queue_wait_s": round(queue_wait_s, 6),
+        "nodes_expanded": nodes,
+        "nodes_per_sec": round(nodes / run_s, 2) if run_s > 0 else 0.0,
+        "peak_rss_bytes": peak_rss,
+        "resource_samples": resource_samples,
+        "cpu_user_s": last_resource.get("cpu_user_s", 0.0),
+        "cpu_sys_s": last_resource.get("cpu_sys_s", 0.0),
+        "gc_suspended_s": last_resource.get("gc_suspended_s", 0.0),
+        "started_ts": started,
+        "first_task_ts": first_ts,
+        "last_task_ts": last_ts,
+    }
+
+
+def merge_worker_shards(directory: str) -> List[Dict]:
+    """One summary dict per worker shard in ``directory`` (sorted)."""
+    return [_summarize_shard(path) for path in list_shards(directory)]
+
+
+def fleet_rollup(directory: str) -> Dict:
+    """Merge every worker shard into ``{"workers": [...], "fleet": {...}}``.
+
+    The fleet view answers the capacity questions a batch operator
+    actually asks: how many circuits per minute did the pool sustain,
+    what fraction of worker time was queue wait versus search, which
+    worker's RSS peaked highest, and whether throughput was balanced
+    (per-worker ``nodes_per_sec`` side by side).
+    """
+    workers = merge_worker_shards(directory)
+    tasks = sum(w["tasks"] for w in workers)
+    ok = sum(w["ok"] for w in workers)
+    run_s = sum(w["run_s"] for w in workers)
+    queue_wait_s = sum(w["queue_wait_s"] for w in workers)
+    nodes = sum(w["nodes_expanded"] for w in workers)
+    starts = [w["started_ts"] for w in workers if w["started_ts"] is not None]
+    ends = [w["last_task_ts"] for w in workers if w["last_task_ts"] is not None]
+    wall_s = max(ends) - min(starts) if starts and ends else 0.0
+    busy = queue_wait_s + run_s
+    fleet = {
+        "workers": len(workers),
+        "tasks": tasks,
+        "ok": ok,
+        "failed": tasks - ok,
+        "run_s": round(run_s, 6),
+        "queue_wait_s": round(queue_wait_s, 6),
+        "queue_wait_frac": round(queue_wait_s / busy, 4) if busy else 0.0,
+        "wall_s": round(wall_s, 6),
+        "circuits_per_min": (
+            round(60.0 * tasks / wall_s, 2) if wall_s > 0 else 0.0
+        ),
+        "nodes_expanded": nodes,
+        "nodes_per_sec": round(nodes / run_s, 2) if run_s > 0 else 0.0,
+        "peak_rss_bytes": max(
+            (w["peak_rss_bytes"] for w in workers), default=0
+        ),
+    }
+    return {"workers": workers, "fleet": fleet}
+
+
+def write_fleet_rollup(directory: str, filename: str = FLEET_ROLLUP_NAME) -> Dict:
+    """Compute :func:`fleet_rollup` and persist it next to the shards.
+
+    No-shards is not an error (a fleet run whose every worker crashed
+    before first emit still gets a rollup saying so).
+    """
+    rollup = fleet_rollup(directory)
+    path = os.path.join(directory, filename)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(rollup, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return rollup
+
+
+# ----------------------------------------------------------------------
+# Single-run summaries
+# ----------------------------------------------------------------------
+
+def summarize_run(records: Sequence[Dict]) -> Dict:
+    """Digest one telemetry JSONL stream (a single instrumented run)."""
+    by_type: Dict[str, int] = {}
+    final_metrics: Dict = {}
+    resources: Dict = {}
+    profile: Dict = {}
+    peak_rss = 0
+    for record in records:
+        kind = str(record.get("type", "unknown"))
+        by_type[kind] = by_type.get(kind, 0) + 1
+        if kind == "metrics":
+            final_metrics = record  # last snapshot wins (it is "final")
+        elif kind == "profile":
+            profile = record
+        elif kind == "resource":
+            rss = record.get("peak_rss_bytes")
+            if rss and rss > peak_rss:
+                peak_rss = rss
+    if not resources:
+        resources = final_metrics.get("resources", {}) or {}
+    if peak_rss and not resources.get("peak_rss_bytes"):
+        resources = dict(resources)
+        resources["peak_rss_bytes"] = peak_rss
+    if not profile:
+        profile = final_metrics.get("profile", {}) or {}
+    return {
+        "records": len(records),
+        "by_type": dict(sorted(by_type.items())),
+        "metrics": final_metrics.get("metrics", {}),
+        "resources": resources,
+        "profile": profile,
+    }
+
+
+# ----------------------------------------------------------------------
+# Human rendering
+# ----------------------------------------------------------------------
+
+def _fmt_bytes(value) -> str:
+    if not value:
+        return "-"
+    mib = float(value) / (1024 * 1024)
+    return f"{mib:.1f}MiB"
+
+
+def render_fleet_table(rollup: Dict) -> str:
+    """Fixed-width fleet summary: one row per worker plus totals."""
+    lines = []
+    header = (
+        f"{'worker':>10}  {'tasks':>5}  {'ok':>4}  {'run_s':>8}  "
+        f"{'wait_s':>7}  {'nodes':>10}  {'nodes/s':>9}  {'peak_rss':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for w in rollup.get("workers", []):
+        lines.append(
+            f"{str(w['worker']):>10}  {w['tasks']:>5}  {w['ok']:>4}  "
+            f"{w['run_s']:>8.2f}  {w['queue_wait_s']:>7.2f}  "
+            f"{w['nodes_expanded']:>10}  {w['nodes_per_sec']:>9.1f}  "
+            f"{_fmt_bytes(w['peak_rss_bytes']):>9}"
+        )
+    fleet = rollup.get("fleet", {})
+    if fleet:
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'fleet':>10}  {fleet.get('tasks', 0):>5}  "
+            f"{fleet.get('ok', 0):>4}  {fleet.get('run_s', 0.0):>8.2f}  "
+            f"{fleet.get('queue_wait_s', 0.0):>7.2f}  "
+            f"{fleet.get('nodes_expanded', 0):>10}  "
+            f"{fleet.get('nodes_per_sec', 0.0):>9.1f}  "
+            f"{_fmt_bytes(fleet.get('peak_rss_bytes')):>9}"
+        )
+        lines.append(
+            f"fleet: {fleet.get('workers', 0)} workers, "
+            f"{fleet.get('circuits_per_min', 0.0)} circuits/min over "
+            f"{fleet.get('wall_s', 0.0):.2f}s wall, "
+            f"queue-wait fraction {fleet.get('queue_wait_frac', 0.0):.1%}"
+        )
+    return "\n".join(lines)
+
+
+def render_run_summary(summary: Dict, top_n: int = 10) -> str:
+    """Human digest of one run's telemetry stream."""
+    lines = []
+    by_type = ", ".join(
+        f"{kind}={count}" for kind, count in summary["by_type"].items()
+    )
+    lines.append(f"records: {summary['records']} ({by_type})")
+    resources = summary.get("resources") or {}
+    if resources:
+        lines.append(
+            f"resources: peak_rss={_fmt_bytes(resources.get('peak_rss_bytes'))} "
+            f"cpu_user={resources.get('cpu_user_s', 0.0)}s "
+            f"cpu_sys={resources.get('cpu_sys_s', 0.0)}s "
+            f"gc_collections={resources.get('gc_collections', 0)} "
+            f"gc_pause={resources.get('gc_pause_s', 0.0)}s "
+            f"gc_windows={resources.get('gc_windows', 0)} "
+            f"gc_suspended={resources.get('gc_suspended_s', 0.0)}s"
+        )
+    metrics = summary.get("metrics") or {}
+    if metrics:
+        lines.append("metrics:")
+        for name, value in list(metrics.items()):
+            if isinstance(value, dict):
+                if "value" in value:  # gauge
+                    rendered = f"{value['value']} (max {value['max']})"
+                else:  # histogram
+                    rendered = (
+                        f"count={value.get('count')} mean={value.get('mean'):.4g} "
+                        f"max={value.get('max'):.4g}"
+                    )
+            else:
+                rendered = str(value)
+            lines.append(f"  {name} = {rendered}")
+    profile = summary.get("profile") or {}
+    if profile.get("samples"):
+        lines.append(
+            f"profile: {profile['samples']} samples, "
+            f"kernel-backend {profile.get('kernel_pct', 0.0)}%"
+        )
+        for section in ("functions", "spans", "kernel"):
+            rows = profile.get(section) or []
+            if not rows:
+                continue
+            lines.append(f"  top {section}:")
+            for row in rows[:top_n]:
+                lines.append(
+                    f"    {row['pct']:6.2f}%  {row['samples']:>6}  "
+                    f"{row['name']}"
+                )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", str(name))
+    if not cleaned.startswith("repro_"):
+        cleaned = f"repro_{cleaned}"
+    return cleaned
+
+
+def _prom_line(name: str, value, labels: Optional[Dict[str, str]] = None) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{val}"' for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {value}"
+    return f"{name} {value}"
+
+
+def _metrics_to_prom(
+    metrics: Dict,
+    labels: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    """Flatten a registry snapshot into typed exposition lines."""
+    lines: List[str] = []
+    for name, value in metrics.items():
+        base = prometheus_name(name)
+        if isinstance(value, dict):
+            if "value" in value:  # gauge {max, value}
+                lines.append(f"# TYPE {base} gauge")
+                lines.append(_prom_line(base, value["value"], labels))
+                lines.append(f"# TYPE {base}_max gauge")
+                lines.append(_prom_line(f"{base}_max", value["max"], labels))
+            else:  # histogram summary
+                for suffix, key in (
+                    ("_count", "count"), ("_sum", "sum"),
+                    ("_min", "min"), ("_max", "max"),
+                ):
+                    lines.append(f"# TYPE {base}{suffix} gauge")
+                    lines.append(
+                        _prom_line(
+                            f"{base}{suffix}", value.get(key, 0), labels
+                        )
+                    )
+        elif isinstance(value, (int, float)):
+            lines.append(f"# TYPE {base} counter")
+            lines.append(_prom_line(base, value, labels))
+    return lines
+
+
+#: Scalar resource-summary fields exported for a single run.
+_RESOURCE_PROM_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("peak_rss_bytes", "gauge"),
+    ("cpu_user_s", "counter"),
+    ("cpu_sys_s", "counter"),
+    ("gc_collections", "counter"),
+    ("gc_pause_s", "counter"),
+    ("gc_windows", "counter"),
+    ("gc_suspended_s", "counter"),
+)
+
+
+def run_to_prometheus(summary: Dict) -> str:
+    """One run's summary (:func:`summarize_run`) as exposition text."""
+    lines = _metrics_to_prom(summary.get("metrics") or {})
+    resources = summary.get("resources") or {}
+    for field, kind in _RESOURCE_PROM_FIELDS:
+        if field in resources:
+            name = prometheus_name(f"resource.{field}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(_prom_line(name, resources[field]))
+    profile = summary.get("profile") or {}
+    if profile.get("samples") is not None:
+        for field in ("samples", "kernel_samples"):
+            if field in profile:
+                name = prometheus_name(f"profile.{field}")
+                lines.append(f"# TYPE {name} counter")
+                lines.append(_prom_line(name, profile[field]))
+    return "\n".join(lines) + "\n"
+
+
+#: Per-worker fields exported with a ``worker`` label.
+_WORKER_PROM_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("tasks", "counter"),
+    ("ok", "counter"),
+    ("failed", "counter"),
+    ("run_s", "counter"),
+    ("queue_wait_s", "counter"),
+    ("nodes_expanded", "counter"),
+    ("nodes_per_sec", "gauge"),
+    ("peak_rss_bytes", "gauge"),
+)
+
+#: Fleet-wide scalar fields.
+_FLEET_PROM_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("workers", "gauge"),
+    ("tasks", "counter"),
+    ("ok", "counter"),
+    ("failed", "counter"),
+    ("run_s", "counter"),
+    ("queue_wait_s", "counter"),
+    ("queue_wait_frac", "gauge"),
+    ("wall_s", "gauge"),
+    ("circuits_per_min", "gauge"),
+    ("nodes_expanded", "counter"),
+    ("nodes_per_sec", "gauge"),
+    ("peak_rss_bytes", "gauge"),
+)
+
+
+def fleet_to_prometheus(rollup: Dict) -> str:
+    """A fleet rollup as exposition text (per-worker labeled series)."""
+    lines: List[str] = []
+    fleet = rollup.get("fleet") or {}
+    for field, kind in _FLEET_PROM_FIELDS:
+        if field in fleet:
+            name = prometheus_name(f"fleet.{field}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(_prom_line(name, fleet[field]))
+    typed: set = set()
+    for worker in rollup.get("workers", []):
+        labels = {"worker": str(worker.get("worker"))}
+        for field, kind in _WORKER_PROM_FIELDS:
+            if field in worker:
+                name = prometheus_name(f"worker.{field}")
+                if name not in typed:
+                    lines.append(f"# TYPE {name} {kind}")
+                    typed.add(name)
+                lines.append(_prom_line(name, worker[field], labels))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,302 @@
+"""Flight-recorder resource sampling: RSS, CPU, GC — while a run flies.
+
+The spans/counters/trace layers answer *what the search decided*; this
+module answers *what the process was doing* while it decided it.  A
+:class:`ResourceSampler` is a background thread that periodically emits
+``type="resource"`` records into the ordinary telemetry sink:
+
+==================  ====================================================
+field               meaning
+==================  ====================================================
+``elapsed_s``       seconds since the sampler started
+``rss_bytes``       current resident set (``/proc/self/statm``; falls
+                    back to ``getrusage`` peak where /proc is absent)
+``peak_rss_bytes``  maximum ``rss_bytes`` observed so far
+``cpu_user_s``      cumulative user CPU time (``os.times``)
+``cpu_sys_s``       cumulative system CPU time
+``gc_counts``       ``gc.get_count()`` triple (allocation pressure)
+``gc_collections``  cyclic collections observed via ``gc.callbacks``
+``gc_pause_s``      cumulative collection-pause seconds
+``gc_pause_max_s``  longest single collection pause
+``gc_windows``      ``pause_gc`` suspension windows entered so far
+``gc_suspended_s``  cumulative seconds the collector was suspended
+==================  ====================================================
+
+GC pauses are measured with a :class:`GcPauseTracker` registered on
+``gc.callbacks`` (start/stop timestamps around each collection).  The
+search hot loop suspends the cyclic collector (``core/gcpause.py``), so
+the tracker sees nothing during a search *by design*; the suspension
+window counters from :func:`repro.core.gcpause.suspension_stats` are
+included in every record so the trail says *why* the pause count is
+flat.
+
+Overhead discipline: sampling runs entirely off the hot path — the
+search loop is never touched.  One tick is a /proc read, an
+``os.times`` call and one sink emit; at the default 50 ms interval that
+is well under 0.5% of a core.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .sinks import Sink
+
+
+def _suspension_stats() -> Dict[str, float]:
+    # Imported lazily: ``repro.core`` (the package init) imports the
+    # telemetry facade, which imports this module — a module-level
+    # ``from ..core.gcpause import ...`` here would close that cycle
+    # before ``Telemetry`` exists.
+    from ..core.gcpause import suspension_stats
+
+    return suspension_stats()
+
+#: Default seconds between resource samples.
+DEFAULT_RESOURCE_INTERVAL = 0.05
+
+_PAGE_SIZE: Optional[int] = None
+
+
+def _page_size() -> int:
+    global _PAGE_SIZE
+    if _PAGE_SIZE is None:
+        try:
+            _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+        except (ValueError, OSError, AttributeError):
+            _PAGE_SIZE = 4096
+    return _PAGE_SIZE
+
+
+def read_rss_bytes() -> Optional[int]:
+    """Current resident-set size in bytes, or ``None`` when unreadable.
+
+    Primary source is ``/proc/self/statm`` (field 2 is resident pages);
+    the fallback is the ``getrusage`` *peak* — a monotone over-estimate,
+    but the only portable signal on platforms without procfs.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _page_size()
+    except (OSError, IndexError, ValueError):
+        pass
+    return peak_rss_bytes()
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Process-lifetime peak RSS in bytes via ``getrusage`` (or None)."""
+    try:
+        import resource as _resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes; macOS reports bytes.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def cpu_times() -> Dict[str, float]:
+    """Cumulative user/system CPU seconds for this process."""
+    times = os.times()
+    return {"user": times.user, "system": times.system}
+
+
+class GcPauseTracker:
+    """Measures cyclic-collection pauses via ``gc.callbacks``.
+
+    Registering is explicit (:meth:`install` / :meth:`remove`) so tests
+    and samplers control the callback's lifetime; the callback itself is
+    a timestamp read plus a few attribute writes, negligible next to any
+    actual collection.  ``histogram`` (when given) receives every pause
+    duration in seconds, so snapshots carry the pause distribution.
+    """
+
+    def __init__(self, histogram=None) -> None:
+        self.collections = 0
+        self.pause_total_s = 0.0
+        self.pause_max_s = 0.0
+        self.by_generation = {0: 0, 1: 0, 2: 0}
+        self.histogram = histogram
+        self._started_at: Optional[float] = None
+        self._installed = False
+
+    def _callback(self, phase: str, info: Dict) -> None:
+        if phase == "start":
+            self._started_at = time.perf_counter()
+            return
+        if phase == "stop" and self._started_at is not None:
+            pause = time.perf_counter() - self._started_at
+            self._started_at = None
+            self.collections += 1
+            self.pause_total_s += pause
+            if pause > self.pause_max_s:
+                self.pause_max_s = pause
+            if self.histogram is not None:
+                self.histogram.observe(pause)
+            generation = info.get("generation")
+            if generation in self.by_generation:
+                self.by_generation[generation] += 1
+
+    def install(self) -> "GcPauseTracker":
+        if not self._installed:
+            gc.callbacks.append(self._callback)
+            self._installed = True
+        return self
+
+    def remove(self) -> None:
+        if self._installed:
+            try:
+                gc.callbacks.remove(self._callback)
+            except ValueError:  # pragma: no cover - external interference
+                pass
+            self._installed = False
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "gc_collections": self.collections,
+            "gc_pause_s": round(self.pause_total_s, 6),
+            "gc_pause_max_s": round(self.pause_max_s, 6),
+            "gc_by_generation": dict(self.by_generation),
+        }
+
+
+class ResourceSampler:
+    """Background thread emitting periodic ``type="resource"`` records.
+
+    Args:
+        sink: Destination for resource records (``None`` keeps only the
+            in-object aggregates — :meth:`summary` still works).
+        metrics: Optional registry; the sampler maintains
+            ``runtime.rss_bytes`` / ``runtime.peak_rss_bytes`` gauges, a
+            ``runtime.samples`` counter and a ``runtime.gc_pause_s``
+            histogram there so snapshots carry the resource story.
+        interval: Seconds between samples.
+
+    Usable directly as a context manager, or through
+    :class:`~repro.obs.telemetry.Telemetry` (``sample_resources=True``),
+    which starts it at construction and stops it from ``finish()``.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Sink] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        interval: float = DEFAULT_RESOURCE_INTERVAL,
+    ) -> None:
+        self.sink = sink
+        self.metrics = metrics
+        self.interval = max(0.001, float(interval))
+        self.samples = 0
+        self.peak_rss = 0
+        self.gc_tracker = GcPauseTracker(
+            histogram=metrics.histogram("runtime.gc_pause_s", scale=1e-6)
+            if metrics is not None else None
+        )
+        self._cpu0 = cpu_times()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._t0 = time.perf_counter()
+        self.records: List[Dict] = []  # kept only when sink is None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ResourceSampler":
+        """Install the GC tracker and launch the sampling thread."""
+        if self._thread is not None:
+            return self
+        self.gc_tracker.install()
+        self._t0 = time.perf_counter()
+        self._cpu0 = cpu_times()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> Dict:
+        """Stop sampling, emit one final record, return :meth:`summary`."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.gc_tracker.remove()
+        self._sample()  # final record: the run's closing resource state
+        return self.summary()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self._sample()
+            except Exception:  # noqa: BLE001 - a sampler must never kill a run
+                pass
+
+    def _sample(self) -> None:
+        record = self.snapshot_record()
+        self.samples += 1
+        if self.metrics is not None:
+            self.metrics.counter("runtime.samples").inc()
+            rss = record.get("rss_bytes")
+            if rss is not None:
+                self.metrics.gauge("runtime.rss_bytes").set(rss)
+                self.metrics.gauge("runtime.peak_rss_bytes").set(
+                    record["peak_rss_bytes"]
+                )
+        if self.sink is not None:
+            self.sink.emit(record)
+        else:
+            self.records.append(record)
+
+    def snapshot_record(self) -> Dict:
+        """One ``type="resource"`` record describing this instant."""
+        rss = read_rss_bytes()
+        if rss is not None and rss > self.peak_rss:
+            self.peak_rss = rss
+        cpu = cpu_times()
+        suspension = _suspension_stats()
+        return {
+            "type": "resource",
+            "elapsed_s": round(time.perf_counter() - self._t0, 6),
+            "rss_bytes": rss,
+            "peak_rss_bytes": self.peak_rss or rss,
+            "cpu_user_s": round(cpu["user"] - self._cpu0["user"], 6),
+            "cpu_sys_s": round(cpu["system"] - self._cpu0["system"], 6),
+            "gc_counts": list(gc.get_count()),
+            "gc_collections": self.gc_tracker.collections,
+            "gc_pause_s": round(self.gc_tracker.pause_total_s, 6),
+            "gc_pause_max_s": round(self.gc_tracker.pause_max_s, 6),
+            "gc_windows": int(suspension["windows"]),
+            "gc_suspended_s": round(suspension["suspended_s"], 6),
+        }
+
+    def summary(self) -> Dict:
+        """Closing aggregates (merged into the final metrics snapshot)."""
+        cpu = cpu_times()
+        suspension = _suspension_stats()
+        out = {
+            "samples": self.samples,
+            "interval_s": self.interval,
+            "peak_rss_bytes": self.peak_rss,
+            "cpu_user_s": round(cpu["user"] - self._cpu0["user"], 6),
+            "cpu_sys_s": round(cpu["system"] - self._cpu0["system"], 6),
+            "gc_windows": int(suspension["windows"]),
+            "gc_suspended_s": round(suspension["suspended_s"], 6),
+        }
+        out.update(self.gc_tracker.summary())
+        return out

@@ -10,17 +10,28 @@ the :class:`~repro.obs.tracer.Tracer` and
 from __future__ import annotations
 
 import json
+import threading
 from typing import Dict, List, Optional
 
 
 class Sink:
-    """Abstract record consumer."""
+    """Abstract record consumer.
+
+    Every sink is a context manager: ``with JsonlSink(path) as sink:``
+    guarantees :meth:`close` runs even when the run inside aborts.
+    """
 
     def emit(self, record: Dict) -> None:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 class MemorySink(Sink):
@@ -43,23 +54,40 @@ class JsonlSink(Sink):
     The file is opened lazily on the first record and flushed after every
     write, so a run killed by a budget exception still leaves a readable
     (if truncated) telemetry trail.
+
+    Lifecycle: the *first* open truncates (``"w"``) so each sink owns a
+    fresh trail; an ``emit()`` after :meth:`close` reopens in **append**
+    mode — earlier this reopened in ``"w"`` and silently destroyed every
+    record already written.  Pass ``append=True`` to never truncate
+    (fleet workers appending to a shared shard across chunks).
+
+    ``emit`` is thread-safe: the resource sampler and profiler threads
+    share one sink with the main search thread, so the write+flush pair
+    is serialized under a lock (records never interleave mid-line).
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, append: bool = False) -> None:
         self.path = path
         self._handle = None
+        self._opened_once = append
+        self._lock = threading.Lock()
 
     def emit(self, record: Dict) -> None:
-        if self._handle is None:
-            self._handle = open(self.path, "w", encoding="utf-8")
-        self._handle.write(json.dumps(record, default=_json_default))
-        self._handle.write("\n")
-        self._handle.flush()
+        line = json.dumps(record, default=_json_default)
+        with self._lock:
+            if self._handle is None:
+                mode = "a" if self._opened_once else "w"
+                self._handle = open(self.path, mode, encoding="utf-8")
+                self._opened_once = True
+            self._handle.write(line)
+            self._handle.write("\n")
+            self._handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
 
 class FanoutSink(Sink):
