@@ -1,12 +1,33 @@
-"""Parallel batch mapping: route many circuits across a process pool.
+"""Parallel batch mapping: route many circuits across worker processes.
 
 ``map_many`` is the scale-out entry point the ROADMAP asks for: it takes a
-list of :class:`BatchTask` (label, circuit, mapper), dispatches them to a
-``ProcessPoolExecutor`` in chunks, and returns one :class:`BatchRecord`
-per task *in submission order* regardless of completion order.  Failure is
-contained per task: a search-budget abort, a mapper exception, or a
-crashed worker process each produce an error record for the affected
-task(s) instead of poisoning the whole batch.
+list of :class:`BatchTask` (label, circuit, mapper) and returns one
+:class:`BatchRecord` per task *in submission order* regardless of
+completion order.  Failure is contained per task: a search-budget abort,
+a mapper exception, or a crashed worker process each produce an error
+record (with exception type and truncated traceback) for the affected
+task instead of poisoning the whole batch.
+
+Two schedulers are available:
+
+* ``scheduler="stealing"`` (default) — a coordinator-side task deque,
+  drained cost-descending (predicted from gate count × qubit count, so
+  the straggler tail shrinks) through one-task leases to a pool of
+  dedicated worker processes.  A worker that dies only affects its own
+  leased task, which is retried on a replacement worker up to
+  ``orphan_retries`` times before it becomes an error record.
+* ``scheduler="static"`` — the legacy up-front chunking over a
+  ``ProcessPoolExecutor``, kept as the measurable baseline (a dead
+  worker fails its whole chunk).
+
+Both schedulers (and the in-process ``max_workers=1`` path) can install
+a per-process **architecture warm cache** (``warm_cache=True``, see
+:mod:`repro.core.warmcache`): tasks targeting the same device share the
+distance matrix, automorphism group, SWAP-split LUT, heuristic memo and
+compiled-kernel capsule, with hit/miss/evict counters surfaced in the
+fleet rollup.  Warm-cache runs stay bit-identical to cold runs — every
+shared structure is a pure cache of values the search would recompute
+identically.
 
 Every successful record carries the mapper's ``stats`` dict, which all
 mappers in this library emit in the normalized schema
@@ -39,15 +60,20 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import itertools
 import multiprocessing
 import os
+import queue as _queue
 import time
+import traceback as _traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.circuit import Circuit
 from ..core.astar import SearchBudgetExceeded
+from ..core.warmcache import WarmCachePool
 from ..core.result import MappingResult
 from ..obs.events import SearchProgressEvent
 from ..obs.schema import (
@@ -105,6 +131,46 @@ class BatchRecord:
     #: process-lifetime high-water mark, so within one worker it is
     #: monotone across tasks).
     peak_rss_bytes: Optional[int] = None
+    #: Exception class name on failure (``"SearchBudgetExceeded"``,
+    #: ``"WorkerCrashed"`` for a dead worker process, ...); ``None`` on
+    #: success.  The fleet rollup aggregates failures by this.
+    error_type: Optional[str] = None
+    #: Truncated (tail-kept) traceback text for unexpected mapper
+    #: exceptions; ``None`` for successes, budget trips and crashes.
+    traceback: Optional[str] = None
+
+
+#: Characters of traceback tail kept on failed records — enough for the
+#: raising frame chain without shipping unbounded text through pickles.
+_TRACEBACK_CHARS = 2000
+
+
+def _truncated_traceback() -> str:
+    text = _traceback.format_exc().rstrip()
+    if len(text) > _TRACEBACK_CHARS:
+        text = "...(truncated)...\n" + text[-_TRACEBACK_CHARS:]
+    return text
+
+
+def _with_warm_cache(mapper, warm_pool: Optional[WarmCachePool]):
+    """A copy of ``mapper`` wired to the pool's shared ``ArchContext``.
+
+    Returns ``mapper`` unchanged when warm caching is off or the mapper
+    has no coupling graph to key on.  The copy also adopts the context's
+    canonical coupling instance, so graph-level memos (distance table,
+    automorphisms) are shared rather than duplicated per task.
+    """
+    if warm_pool is None:
+        return mapper
+    coupling = getattr(mapper, "coupling", None)
+    if coupling is None:
+        return mapper
+    context = warm_pool.context(coupling, getattr(mapper, "latency", None))
+    warm = copy.copy(mapper)
+    warm.coupling = context.coupling
+    warm.latency = context.latency
+    warm.arch_context = context
+    return warm
 
 
 def _run_task(
@@ -113,11 +179,13 @@ def _run_task(
     max_seconds: Optional[float],
     keep_results: bool,
     validate: bool,
+    warm_pool: Optional[WarmCachePool] = None,
 ) -> BatchRecord:
     """Execute one task, converting every failure into an error record."""
-    mapper = task.mapper
+    mapper = _with_warm_cache(task.mapper, warm_pool)
     if max_nodes is not None or max_seconds is not None:
-        mapper = copy.copy(mapper)
+        if mapper is task.mapper:
+            mapper = copy.copy(mapper)
         if max_nodes is not None and hasattr(mapper, "max_nodes"):
             mapper.max_nodes = max_nodes
         if max_seconds is not None and hasattr(mapper, "max_seconds"):
@@ -134,6 +202,7 @@ def _run_task(
             seconds=time.perf_counter() - start,
             stats=dict(exc.partial_stats),
             error=f"budget exceeded: {exc}",
+            error_type=type(exc).__name__,
             peak_rss_bytes=peak_rss_bytes(),
         )
     except Exception as exc:  # noqa: BLE001 - containment is the point
@@ -142,6 +211,8 @@ def _run_task(
             ok=False,
             seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+            traceback=_truncated_traceback(),
             peak_rss_bytes=peak_rss_bytes(),
         )
     return BatchRecord(
@@ -190,13 +261,17 @@ def _emit_worker_task(
     telemetry: Optional[Telemetry],
     record: BatchRecord,
     queue_wait_s: Optional[float],
+    warm_pool: Optional[WarmCachePool] = None,
 ) -> None:
     """One ``worker_task`` shard record — everything the fleet rollup
     needs (who ran what, for how long, after waiting how long, at what
-    peak RSS) without reading coordinator state."""
+    peak RSS, against how warm a cache) without reading coordinator
+    state.  ``warm_cache`` carries the worker's *cumulative* counters;
+    the rollup keeps each worker's last snapshot and sums across
+    workers."""
     if telemetry is None or telemetry.sink is None:
         return
-    telemetry.sink.emit({
+    payload = {
         "type": "worker_task",
         "worker": os.getpid(),
         "label": record.label,
@@ -210,7 +285,17 @@ def _emit_worker_task(
         "depth": record.depth,
         "peak_rss_bytes": record.peak_rss_bytes,
         "ts": time.time(),
-    })
+    }
+    if record.error_type is not None:
+        payload["error_type"] = record.error_type
+    if warm_pool is not None:
+        payload["warm_cache"] = warm_pool.counters()
+    telemetry.sink.emit(payload)
+
+
+#: Per-process warm-cache pool for *static-chunk* pool workers (their
+#: lifetime is one ``map_many`` call, so this is per-batch state).
+_CHUNK_WARM_POOL: Optional[WarmCachePool] = None
 
 
 def _run_chunk(
@@ -221,6 +306,7 @@ def _run_chunk(
     validate: bool,
     telemetry_spec: Optional[TelemetrySpec] = None,
     submitted_ts: Optional[float] = None,
+    warm_cache: bool = False,
 ) -> List[BatchRecord]:
     """Pool worker: run a chunk of tasks sequentially in one process.
 
@@ -228,15 +314,22 @@ def _run_chunk(
     each task's queue wait is measured against it, so later tasks in a
     chunk correctly count their chunk-mates' run time as waiting.
     """
+    global _CHUNK_WARM_POOL
     telemetry = _worker_telemetry(telemetry_spec)
+    warm_pool = None
+    if warm_cache:
+        if _CHUNK_WARM_POOL is None:
+            _CHUNK_WARM_POOL = WarmCachePool()
+        warm_pool = _CHUNK_WARM_POOL
     records = []
     for task in chunk:
         queue_wait = (
             time.time() - submitted_ts if submitted_ts is not None else None
         )
         record = _run_task(task, max_nodes, max_seconds, keep_results,
-                           validate)
-        _emit_worker_task(telemetry, record, queue_wait)
+                           validate, warm_pool=warm_pool)
+        _emit_worker_task(telemetry, record, queue_wait,
+                          warm_pool=warm_pool)
         records.append(record)
     return records
 
@@ -259,6 +352,282 @@ def _reject_unpicklable_telemetry(tasks: Sequence[BatchTask]) -> None:
             )
 
 
+def _predicted_cost(task: BatchTask) -> int:
+    """Crude per-task cost prediction: gate count × qubit count.
+
+    Only the *ordering* matters — dispatching predicted-heavy tasks
+    first shrinks the straggler tail (a heavy task started last would
+    run alone while every other worker idles).
+    """
+    try:
+        return len(task.circuit) * max(1, task.circuit.num_qubits)
+    except (TypeError, AttributeError):
+        return 0
+
+
+def _stealing_worker(
+    worker_id: int,
+    lease_q,
+    result_q,
+    max_nodes: Optional[int],
+    max_seconds: Optional[float],
+    keep_results: bool,
+    validate: bool,
+    telemetry_spec: Optional[TelemetrySpec],
+    warm_cache: bool,
+) -> None:
+    """Worker process: run one-task leases until the ``None`` sentinel.
+
+    Each worker owns a private :class:`WarmCachePool` built fresh at
+    startup (never inherited through fork), so its warmth is exactly
+    the batch's own history — deterministic regardless of what the
+    coordinator process mapped before.
+    """
+    _WORKER_TELEMETRY.clear()  # never adopt a forked parent's sinks
+    telemetry = _worker_telemetry(telemetry_spec)
+    warm_pool = WarmCachePool() if warm_cache else None
+    while True:
+        lease = lease_q.get()
+        if lease is None:
+            break
+        index, task, enqueued_ts = lease
+        queue_wait = time.time() - enqueued_ts
+        record = _run_task(task, max_nodes, max_seconds, keep_results,
+                           validate, warm_pool=warm_pool)
+        _emit_worker_task(telemetry, record, queue_wait,
+                          warm_pool=warm_pool)
+        result_q.put((worker_id, index, record))
+
+
+class _WorkerHandle:
+    """Coordinator-side state for one stealing worker."""
+
+    __slots__ = ("process", "lease_q", "current")
+
+    def __init__(self, process, lease_q) -> None:
+        self.process = process
+        self.lease_q = lease_q
+        self.current: Optional[int] = None  # leased task index
+
+
+#: Coordinator poll interval while waiting for results — bounds how
+#: long a dead worker goes unnoticed without burning CPU.
+_STEAL_POLL_S = 0.05
+
+#: How deep into the pending deque the affinity dispatch looks for a
+#: task whose circuit the requesting worker has already warmed.  Tasks
+#: are cost-ordered, so repeats of one circuit sit adjacent and the scan
+#: succeeds early; the bound caps coordinator work on huge corpora.
+_AFFINITY_SCAN = 256
+
+
+def _map_many_stealing(
+    tasks: List[BatchTask],
+    workers: int,
+    max_nodes: Optional[int],
+    max_seconds: Optional[float],
+    keep_results: bool,
+    validate: bool,
+    telemetry_spec: Optional[TelemetrySpec],
+    warm_cache: bool,
+    orphan_retries: int,
+) -> List[BatchRecord]:
+    """Work-stealing coordinator: shared deque, one-task leases.
+
+    The deque is drained cost-descending; every idle worker immediately
+    leases the heaviest remaining task, so load balances itself without
+    up-front chunk guesses.  With ``warm_cache`` on, dispatch is
+    affinity-aware: an idle worker first gets a pending task whose
+    circuit it has already warmed (scanning at most
+    :data:`_AFFINITY_SCAN` deep), falling back to the heaviest remaining
+    task — placement never changes results, only which worker's cache
+    gets the hit.  Worker death orphans at most its one leased task,
+    which is retried on a replacement worker up to ``orphan_retries``
+    times before becoming a ``WorkerCrashed`` record.
+    """
+    from ..core.warmcache import circuit_fingerprint
+
+    ctx = multiprocessing.get_context()
+    order = sorted(
+        range(len(tasks)),
+        key=lambda i: (-_predicted_cost(tasks[i]), i),
+    )
+    pending = deque(order)
+    attempts = [0] * len(tasks)
+    results: List[Optional[BatchRecord]] = [None] * len(tasks)
+    completed = 0
+    enqueued_ts = time.time()
+    result_q = ctx.Queue()
+    worker_ids = itertools.count()
+    handles: Dict[int, _WorkerHandle] = {}
+    fingerprints: List[Optional[str]] = [None] * len(tasks)
+    worker_warmth: Dict[int, set] = {}
+
+    def _fp(index: int) -> str:
+        fp = fingerprints[index]
+        if fp is None:
+            try:
+                fp = circuit_fingerprint(tasks[index].circuit)
+            except Exception:  # noqa: BLE001 - exotic circuit object
+                fp = f"task-{index}"
+            fingerprints[index] = fp
+        return fp
+
+    def take_pending(worker_id: int) -> int:
+        """Pop the best pending task for this worker.
+
+        Preference order: (1) a task this worker has already warmed —
+        a guaranteed cache hit; (2) a task *no* worker has warmed —
+        claiming a fresh circuit instead of duplicating a cache some
+        other worker already paid for (repeats sit adjacent in the
+        cost-ordered deque, so without this rule the opening dispatch
+        burst would hand the same circuit to every worker at once);
+        (3) the heaviest remaining task.
+        """
+        if warm_cache:
+            scan = min(len(pending), _AFFINITY_SCAN)
+            seen = worker_warmth.get(worker_id)
+            if seen:
+                for k in range(scan):
+                    if _fp(pending[k]) in seen:
+                        index = pending[k]
+                        del pending[k]
+                        return index
+            claimed = set()
+            for warmth in worker_warmth.values():
+                claimed |= warmth
+            if claimed:
+                for k in range(scan):
+                    if _fp(pending[k]) not in claimed:
+                        index = pending[k]
+                        del pending[k]
+                        return index
+        return pending.popleft()
+
+    def spawn() -> None:
+        worker_id = next(worker_ids)
+        lease_q = ctx.SimpleQueue()
+        process = ctx.Process(
+            target=_stealing_worker,
+            args=(worker_id, lease_q, result_q, max_nodes, max_seconds,
+                  keep_results, validate, telemetry_spec, warm_cache),
+            daemon=True,
+        )
+        process.start()
+        handles[worker_id] = _WorkerHandle(process, lease_q)
+
+    def absorb(worker_id: int, index: int, record: BatchRecord) -> None:
+        nonlocal completed
+        handle = handles.get(worker_id)
+        if handle is not None and handle.current == index:
+            handle.current = None
+        if results[index] is None:
+            results[index] = record
+            completed += 1
+
+    def drain_nowait() -> None:
+        while True:
+            try:
+                absorb(*result_q.get_nowait())
+            except _queue.Empty:
+                return
+
+    def reap_dead_workers() -> None:
+        """Handle worker death: orphan-retry its lease, spawn a spare."""
+        nonlocal completed
+        dead = [
+            (worker_id, handle)
+            for worker_id, handle in handles.items()
+            if not handle.process.is_alive()
+        ]
+        if not dead:
+            return
+        # A worker can finish its lease and die before the coordinator
+        # reads the result — drain first so those count as completed,
+        # not orphaned.
+        drain_nowait()
+        for worker_id, handle in dead:
+            index = handle.current
+            if index is not None and results[index] is None:
+                attempts[index] += 1
+                if attempts[index] > orphan_retries:
+                    exitcode = handle.process.exitcode
+                    results[index] = BatchRecord(
+                        label=tasks[index].label,
+                        ok=False,
+                        error=(
+                            "worker failed: process exited with code "
+                            f"{exitcode} while running this task "
+                            f"(attempt {attempts[index]})"
+                        ),
+                        error_type="WorkerCrashed",
+                    )
+                    completed += 1
+                else:
+                    pending.appendleft(index)  # retry at the front
+            handle.process.join()
+            del handles[worker_id]
+            worker_warmth.pop(worker_id, None)
+        in_flight = sum(
+            1 for handle in handles.values() if handle.current is not None
+        )
+        while (
+            len(handles) < workers
+            and len(handles) < len(pending) + in_flight + 1
+            and completed + in_flight < len(tasks)
+        ):
+            spawn()
+
+    try:
+        for _ in range(min(workers, len(tasks))):
+            spawn()
+        while completed < len(tasks):
+            for worker_id, handle in handles.items():
+                if handle.current is None and pending:
+                    index = take_pending(worker_id)
+                    handle.current = index
+                    if warm_cache:
+                        worker_warmth.setdefault(worker_id, set()).add(
+                            _fp(index)
+                        )
+                    try:
+                        # SimpleQueue pickles fully before writing, so a
+                        # failure here never corrupts the lease stream.
+                        handle.lease_q.put(
+                            (index, tasks[index], enqueued_ts)
+                        )
+                    except Exception as exc:  # noqa: BLE001 - unpicklable
+                        handle.current = None
+                        results[index] = BatchRecord(
+                            label=tasks[index].label,
+                            ok=False,
+                            error=(
+                                "worker failed: task not picklable: "
+                                f"{type(exc).__name__}: {exc}"
+                            ),
+                            error_type=type(exc).__name__,
+                        )
+                        completed += 1
+            try:
+                absorb(*result_q.get(timeout=_STEAL_POLL_S))
+            except _queue.Empty:
+                reap_dead_workers()
+    finally:
+        for handle in handles.values():
+            try:
+                handle.lease_q.put(None)
+            except Exception:  # noqa: BLE001 - already-dead worker
+                pass
+        for handle in handles.values():
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join()
+        result_q.close()
+        result_q.join_thread()
+    return [record for record in results if record is not None]
+
+
 def map_many(
     tasks: Sequence[BatchTask],
     *,
@@ -269,15 +638,21 @@ def map_many(
     keep_results: bool = True,
     validate: bool = True,
     telemetry_spec: Optional[TelemetrySpec] = None,
+    scheduler: str = "stealing",
+    warm_cache: bool = True,
+    orphan_retries: int = 1,
 ) -> List[BatchRecord]:
     """Route every task, in parallel when it can pay off.
 
     Args:
         tasks: Work items; results come back in this order.
         max_workers: Pool size; ``None`` means the CPU count.  A resolved
-            value of 1 executes in-process without a pool.
-        chunk_size: Tasks per pool submission; ``None`` picks a size that
-            gives each worker ~4 chunks for load balancing.
+            value of 1 executes in-process without a pool — the
+            bit-identity reference path for both schedulers.
+        chunk_size: Tasks per pool submission on the *static* scheduler;
+            ``None`` picks a size that gives each worker ~4 chunks while
+            never submitting fewer chunks than workers.  Ignored by the
+            stealing scheduler (its leases are always one task).
         max_nodes: Optional per-task node budget, applied to mappers that
             have a ``max_nodes`` attribute (the exact search).
         max_seconds: Optional per-task wall-clock budget, likewise.
@@ -290,6 +665,16 @@ def map_many(
             ``telemetry_spec.directory`` and the coordinator writes the
             merged ``fleet.json`` rollup before returning.  Works on the
             in-process path too (one shard).
+        scheduler: ``"stealing"`` (default; coordinator-dispatched
+            one-task leases, cost-descending, per-task crash containment
+            with orphan retry) or ``"static"`` (legacy up-front chunking
+            over a process pool; a dead worker fails its whole chunk).
+        warm_cache: Share per-architecture search artifacts across tasks
+            through :mod:`repro.core.warmcache`.  Bit-identical results;
+            hit/miss/evict counters land in the fleet rollup.
+        orphan_retries: Stealing scheduler only — how many times a task
+            orphaned by a dead worker is retried on a replacement before
+            it becomes a ``WorkerCrashed`` error record.
 
     Returns:
         One :class:`BatchRecord` per task, submission-ordered.
@@ -297,23 +682,41 @@ def map_many(
     tasks = list(tasks)
     if not tasks:
         return []
+    if scheduler not in ("stealing", "static"):
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}: expected 'stealing' or 'static'"
+        )
     workers = _default_workers() if max_workers is None else max_workers
     if workers <= 1:
         telemetry = _worker_telemetry(telemetry_spec)
+        warm_pool = WarmCachePool() if warm_cache else None
         submitted = time.time()
         records = []
         for task in tasks:
             queue_wait = time.time() - submitted
             record = _run_task(task, max_nodes, max_seconds, keep_results,
-                               validate)
-            _emit_worker_task(telemetry, record, queue_wait)
+                               validate, warm_pool=warm_pool)
+            _emit_worker_task(telemetry, record, queue_wait,
+                              warm_pool=warm_pool)
             records.append(record)
         _write_rollup(telemetry_spec)
         return records
 
     _reject_unpicklable_telemetry(tasks)
+    if scheduler == "stealing":
+        records = _map_many_stealing(
+            tasks, workers, max_nodes, max_seconds, keep_results, validate,
+            telemetry_spec, warm_cache, orphan_retries,
+        )
+        _write_rollup(telemetry_spec)
+        return records
+
     if chunk_size is None:
+        # ~4 chunks per worker for load balancing — but never chunks so
+        # large that there are fewer submissions than workers, which
+        # would leave workers idle for the whole batch.
         chunk_size = max(1, len(tasks) // (workers * 4) or 1)
+        chunk_size = min(chunk_size, max(1, len(tasks) // workers))
     chunks = [
         tasks[i: i + chunk_size] for i in range(0, len(tasks), chunk_size)
     ]
@@ -322,7 +725,7 @@ def map_many(
         futures = [
             pool.submit(
                 _run_chunk, chunk, max_nodes, max_seconds, keep_results,
-                validate, telemetry_spec, time.time(),
+                validate, telemetry_spec, time.time(), warm_cache,
             )
             for chunk in chunks
         ]
@@ -335,6 +738,7 @@ def map_many(
                         label=task.label,
                         ok=False,
                         error=f"worker failed: {type(exc).__name__}: {exc}",
+                        error_type=type(exc).__name__,
                     )
                     for task in chunk
                 )
@@ -556,7 +960,10 @@ def map_mode2_fanout(
     )
 
     start = time.perf_counter()
-    problem = MappingProblem(circuit, mapper.coupling, mapper.latency)
+    if hasattr(mapper, "_problem"):
+        problem = mapper._problem(circuit)  # warm-cache aware
+    else:
+        problem = MappingProblem(circuit, mapper.coupling, mapper.latency)
     sym_counters: Dict[str, int] = {}
     mappings = enumerate_mode2_mappings(
         problem,
@@ -655,6 +1062,11 @@ def map_mode2_fanout(
             initargs=(shared,),
         ) as pool:
             template = _worker_mapper(mapper)
+            # Never ship a warm-cache context through the pool pickle —
+            # it drags every retained problem across the boundary; the
+            # workers rebuild problems locally instead.
+            if getattr(template, "arch_context", None) is not None:
+                template.arch_context = None
             submitted_ts = time.time()
             futures = [
                 pool.submit(

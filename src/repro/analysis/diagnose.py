@@ -413,6 +413,7 @@ def check_trend(
     max_node_ratio: float = 1.05,
     max_time_ratio: float = 3.0,
     min_time_floor: float = 0.1,
+    min_throughput_ratio: float = 0.67,
 ) -> Tuple[bool, List[str]]:
     """Compare the newest trajectory entry against its best predecessors.
 
@@ -425,7 +426,11 @@ def check_trend(
       counts are deterministic, so the default tolerance is tight);
     * ``wall_seconds`` above ``best_prior * max_time_ratio`` when the
       prior best is at least ``min_time_floor`` seconds (sub-100 ms
-      timings are noise-dominated and never gate).
+      timings are noise-dominated and never gate);
+    * ``circuits_per_min`` (fleet-throughput suites, e.g.
+      ``corpus_fleet`` from ``repro corpus --record``) below
+      ``best_prior * min_throughput_ratio`` — batch throughput dropped
+      to less than that fraction of the best recorded run.
 
     Returns ``(ok, messages)``; ``messages`` always explains what was
     (or could not be) compared.
@@ -502,5 +507,25 @@ def check_trend(
                     f"{suite}: wall_seconds regressed "
                     f"{best:.3f}s -> {seconds:.3f}s "
                     f"(> {max_time_ratio:.1f}x)"
+                )
+
+        throughput = current.get("circuits_per_min")
+        prior_throughput = [
+            s["circuits_per_min"] for s in prior_suites
+            if s.get("circuits_per_min") is not None
+        ]
+        if throughput is not None and prior_throughput:
+            best = max(prior_throughput)
+            if throughput < best * min_throughput_ratio:
+                ok = False
+                messages.append(
+                    f"{suite}: circuits_per_min regressed "
+                    f"{best:.1f} -> {throughput:.1f} "
+                    f"(< {min_throughput_ratio:.2f}x best)"
+                )
+            else:
+                messages.append(
+                    f"{suite}: circuits_per_min {throughput:.1f} vs "
+                    f"best {best:.1f} ok"
                 )
     return ok, messages

@@ -10,6 +10,10 @@ Commands:
 * ``obs-report`` — render a telemetry JSONL file or a fleet shard
   directory (``map-batch --telemetry-dir``) as a human summary table
   or Prometheus text exposition format;
+* ``corpus`` — corpus-scale throughput sweep: map a seeded benchmark
+  request stream across the worker pool and report circuits/min
+  (optionally vs the static-chunk cold-cache baseline, with the
+  ``corpus_fleet`` suite recorded for ``bench-trend --check``);
 * ``benchmarks`` — list the regenerable benchmark names;
 * ``bench-trend`` — tabulate the recorded search-perf trajectory
   (``benchmarks/results/BENCH_search.json``); ``--check`` turns it
@@ -261,6 +265,28 @@ def _cmd_map(args) -> int:
     return 0
 
 
+def _record_from_json(payload: dict):
+    """Rehydrate a ``--json-out`` record dict into a ``BatchRecord``.
+
+    Used by ``map-batch --resume`` so already-mapped circuits render in
+    the table and re-serialize without re-running.
+    """
+    from .analysis.batch import BatchRecord
+
+    return BatchRecord(
+        label=payload.get("label", "?"),
+        ok=bool(payload.get("ok")),
+        seconds=payload.get("seconds") or 0.0,
+        depth=payload.get("depth"),
+        swaps=payload.get("swaps"),
+        stats=payload.get("stats") or {},
+        error=payload.get("error"),
+        peak_rss_bytes=payload.get("peak_rss_bytes"),
+        error_type=payload.get("error_type"),
+        traceback=payload.get("traceback"),
+    )
+
+
 def _cmd_map_batch(args) -> int:
     import glob as _glob
     import json
@@ -286,9 +312,39 @@ def _cmd_map_batch(args) -> int:
         )
         return 1
 
+    done = {}
+    if args.resume:
+        if not args.json_out:
+            print(
+                "error: --resume needs --json-out (it is the record of "
+                "what already ran)",
+                file=sys.stderr,
+            )
+            return 1
+        if os.path.exists(args.json_out):
+            try:
+                with open(args.json_out, "r", encoding="utf-8") as handle:
+                    prior = json.load(handle)
+            except ValueError as exc:
+                print(
+                    f"error: --resume: {args.json_out} is not valid JSON: "
+                    f"{exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            done = {
+                rec.get("label"): rec
+                for rec in prior.get("records") or []
+                if rec.get("ok")  # failed circuits re-run on resume
+            }
+
     tasks = []
+    resumed = []
     for path in paths:
         label = os.path.splitext(os.path.basename(path))[0]
+        if label in done:
+            resumed.append(_record_from_json(done[label]))
+            continue
         try:
             circuit = load_qasm_file(path)
         except Exception as exc:
@@ -300,6 +356,11 @@ def _cmd_map_batch(args) -> int:
                 circuit=circuit,
                 mapper=_build_mapper(args.mapper, coupling, latency, args),
             )
+        )
+    if args.resume and resumed:
+        print(
+            f"resume: {len(resumed)}/{len(paths)} circuits already mapped "
+            f"in {args.json_out}; running the remaining {len(tasks)}"
         )
 
     telemetry_spec = None
@@ -315,7 +376,19 @@ def _cmd_map_batch(args) -> int:
         max_seconds=args.budget,
         keep_results=False,
         telemetry_spec=telemetry_spec,
+        scheduler=args.scheduler,
+        warm_cache=not args.no_warm_cache,
     )
+    if resumed:
+        # Re-interleave resumed records into path order for the report.
+        fresh = {rec.label: rec for rec in records}
+        kept = {rec.label: rec for rec in resumed}
+        records = []
+        for path in paths:
+            label = os.path.splitext(os.path.basename(path))[0]
+            record = fresh.get(label) or kept.get(label)
+            if record is not None:
+                records.append(record)
 
     columns = [k for k in REQUIRED_STAT_KEYS if k != "mapper"]
     header = f"{'circuit':24s} {'ok':>3} {'depth':>6} {'swaps':>6}" + "".join(
@@ -368,6 +441,8 @@ def _cmd_map_batch(args) -> int:
                     "wall_time_s": rec.seconds,
                     "peak_rss_bytes": rec.peak_rss_bytes,
                     "error": rec.error,
+                    "error_type": rec.error_type,
+                    "traceback": rec.traceback,
                     "stats": stats_row(
                         rec.stats,
                         REQUIRED_STAT_KEYS + (STAT_KERNEL_BACKEND,),
@@ -380,6 +455,146 @@ def _cmd_map_batch(args) -> int:
             json.dump(payload, handle, indent=2)
         print(f"wrote batch report to {args.json_out}")
     return 0 if all(rec.ok for rec in records) else 2
+
+
+def _cmd_corpus(args) -> int:
+    """Corpus-scale throughput sweep: a seeded benchmark request stream."""
+    import json
+
+    from .analysis.corpus import (
+        append_corpus_trajectory,
+        build_corpus,
+        corpus_suite,
+        identity_mismatches,
+        run_corpus,
+    )
+
+    coupling = by_name(args.arch)
+    latency = _LATENCIES[args.latency]
+
+    def mapper_factory():
+        return _build_mapper(args.mapper, coupling, latency, args)
+
+    try:
+        stream = build_corpus(
+            args.size,
+            max_qubits=coupling.num_qubits,
+            repeat_factor=args.repeat_factor,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    distinct = len({label.rsplit("@", 1)[0] for label, _ in stream})
+    print(
+        f"corpus: {len(stream)} requests over {distinct} distinct "
+        f"circuits (repeat factor {args.repeat_factor}, seed "
+        f"{args.seed}), arch={args.arch} latency={args.latency} "
+        f"mapper={args.mapper}"
+    )
+
+    warm = not args.no_warm_cache
+    main_label = (
+        f"{args.scheduler}+{'warm' if warm else 'cold'}"
+    )
+    summary = run_corpus(
+        stream,
+        mapper_factory,
+        workers=args.workers,
+        scheduler=args.scheduler,
+        warm_cache=warm,
+        telemetry_dir=args.telemetry_dir,
+        max_nodes=args.max_nodes,
+        max_seconds=args.budget,
+    )
+
+    def _report(label: str, run: dict) -> None:
+        extras = ""
+        if run.get("queue_wait_frac") is not None:
+            extras += f", queue-wait {run['queue_wait_frac']:.1%}"
+        if run.get("warm_cache_hit_rate") is not None:
+            extras += f", warm-hit {run['warm_cache_hit_rate']:.1%}"
+        print(
+            f"{label:14s}: {run['ok']}/{run['circuits']} ok, "
+            f"{run['wall_seconds']:.1f}s wall, "
+            f"{run['circuits_per_min']:.1f} circuits/min{extras}"
+        )
+
+    _report(main_label, summary)
+    for rec in summary["records"]:
+        if not rec["ok"]:
+            print(f"  FAILED {rec['label']}: {rec['error']}")
+
+    suites = {corpus_suite(summary)[0]: corpus_suite(summary)[1]}
+    baseline = None
+    if args.baseline:
+        baseline = run_corpus(
+            stream,
+            mapper_factory,
+            workers=args.workers,
+            scheduler="static",
+            warm_cache=False,
+            telemetry_dir=None,  # keep baseline shards out of the rollup
+            max_nodes=args.max_nodes,
+            max_seconds=args.budget,
+        )
+        _report("static+cold", baseline)
+        if baseline["circuits_per_min"] > 0:
+            speedup = (
+                summary["circuits_per_min"] / baseline["circuits_per_min"]
+            )
+            print(f"{'speedup':14s}: {speedup:.2f}x circuits/min")
+            suites[corpus_suite(summary)[0]]["speedup_vs_static"] = round(
+                speedup, 4
+            )
+        name, suite = corpus_suite(baseline, "_static_baseline")
+        suites[name] = suite
+
+    identity_failed = False
+    if args.verify_identity:
+        reference = run_corpus(
+            stream,
+            mapper_factory,
+            workers=1,
+            scheduler=args.scheduler,
+            warm_cache=warm,
+            max_nodes=args.max_nodes,
+            max_seconds=args.budget,
+        )
+        mismatches = identity_mismatches(summary, reference)
+        if baseline is not None:
+            mismatches += identity_mismatches(baseline, reference)
+        if mismatches:
+            identity_failed = True
+            print(
+                f"{'identity':14s}: MISMATCH vs sequential reference",
+                file=sys.stderr,
+            )
+            for line in mismatches[:20]:
+                print(f"  {line}", file=sys.stderr)
+        else:
+            checked = "all configurations" if baseline else main_label
+            print(
+                f"{'identity':14s}: OK — {checked} bit-identical to the "
+                f"sequential reference"
+            )
+
+    if args.record:
+        entry = append_corpus_trajectory(args.bench_json, suites)
+        print(
+            f"recorded corpus_fleet trajectory entry "
+            f"(commit {entry['commit']}) in {args.bench_json}"
+        )
+    if args.json_out:
+        payload = {"corpus": summary}
+        if baseline is not None:
+            payload["static_baseline"] = baseline
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote corpus report to {args.json_out}")
+    if identity_failed:
+        return 1
+    return 0 if summary["failed"] == 0 else 2
 
 
 def _cmd_obs_report(args) -> int:
@@ -551,6 +766,7 @@ def _cmd_bench_trend(args) -> int:
             report,
             max_node_ratio=args.max_node_ratio,
             max_time_ratio=args.max_time_ratio,
+            min_throughput_ratio=args.min_throughput_ratio,
         )
         print()
         for message in messages:
@@ -737,11 +953,106 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--json-out", default=None,
                            help="write the per-circuit report as JSON")
     batch_cmd.add_argument(
+        "--resume", action="store_true",
+        help="skip circuits already mapped successfully in the existing "
+             "--json-out report; failed circuits re-run",
+    )
+    batch_cmd.add_argument(
+        "--scheduler", default="stealing",
+        choices=["stealing", "static"],
+        help="work distribution: per-task work-stealing leases (default) "
+             "or legacy up-front chunking",
+    )
+    batch_cmd.add_argument(
+        "--no-warm-cache", action="store_true",
+        help="disable the per-worker architecture warm cache (shared "
+             "distance/automorphism/heuristic-memo artifacts)",
+    )
+    batch_cmd.add_argument(
         "--telemetry-dir", default=None, metavar="DIR",
         help="fleet telemetry: per-worker JSONL shards (resource samples "
              "+ per-task records) and a fleet.json rollup under DIR",
     )
     batch_cmd.set_defaults(func=_cmd_map_batch)
+
+    corpus_cmd = sub.add_parser(
+        "corpus",
+        help="corpus-scale throughput sweep over a benchmark "
+             "request stream",
+    )
+    corpus_cmd.add_argument(
+        "--size", type=int, default=100,
+        help="number of mapping requests in the stream",
+    )
+    corpus_cmd.add_argument(
+        "--repeat-factor", type=int, default=10,
+        help="average occurrences of each distinct circuit in the stream",
+    )
+    corpus_cmd.add_argument("--seed", type=int, default=0)
+    corpus_cmd.add_argument(
+        "--arch", default="tokyo", help="architecture name"
+    )
+    corpus_cmd.add_argument(
+        "--latency", default="ibm", choices=sorted(_LATENCIES)
+    )
+    corpus_cmd.add_argument(
+        "--mapper",
+        default="heuristic",
+        choices=["optimal", "heuristic", "sabre", "zulehner", "olsq",
+                 "trivial"],
+    )
+    corpus_cmd.add_argument(
+        "--workers", type=int, default=4,
+        help="worker-process pool size (1 = in-process)",
+    )
+    corpus_cmd.add_argument(
+        "--scheduler", default="stealing",
+        choices=["stealing", "static"],
+        help="work distribution for the main run",
+    )
+    corpus_cmd.add_argument(
+        "--no-warm-cache", action="store_true",
+        help="disable the per-worker architecture warm cache",
+    )
+    corpus_cmd.add_argument(
+        "--baseline", action="store_true",
+        help="also run the static-chunk cold-cache baseline and report "
+             "the circuits/min speedup",
+    )
+    corpus_cmd.add_argument(
+        "--verify-identity", action="store_true",
+        help="re-run the stream sequentially (workers=1) and fail on "
+             "any depth/swap/node-count difference",
+    )
+    corpus_cmd.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="per-circuit node budget for the exact search",
+    )
+    corpus_cmd.add_argument("--budget", type=float, default=None,
+                            help="per-circuit wall-clock budget (s)")
+    corpus_cmd.add_argument(
+        "--kernel", default=None,
+        choices=["pure", "vector", "compiled"],
+        help="kernel backend for the search hot path",
+    )
+    corpus_cmd.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="fleet telemetry shards + fleet.json for the main run "
+             "(queue-wait fraction and warm-cache hit rate come from "
+             "here)",
+    )
+    corpus_cmd.add_argument(
+        "--record", action="store_true",
+        help="append corpus_fleet suites to the bench trajectory "
+             "(--bench-json) for bench-trend gating",
+    )
+    corpus_cmd.add_argument(
+        "--bench-json", default="benchmarks/results/BENCH_search.json",
+        help="trajectory file --record appends to",
+    )
+    corpus_cmd.add_argument("--json-out", default=None,
+                            help="write the full corpus report as JSON")
+    corpus_cmd.set_defaults(func=_cmd_corpus, search_initial=False)
 
     obs_cmd = sub.add_parser(
         "obs-report",
@@ -804,6 +1115,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-time-ratio", type=float, default=3.0,
         help="--check: fail when wall_seconds exceeds this multiple of "
              "the best prior entry (priors under 0.1s never gate)",
+    )
+    trend_cmd.add_argument(
+        "--min-throughput-ratio", type=float, default=0.67,
+        help="--check: fail when a fleet suite's circuits_per_min drops "
+             "below this fraction of the best prior entry",
     )
     trend_cmd.set_defaults(func=_cmd_bench_trend)
 

@@ -427,6 +427,17 @@ class OptimalMapper:
         #: (:class:`repro.analysis.batch.SharedBound`), installed on worker
         #: copies by the mode-2 fan-out; ``None`` for ordinary searches.
         self.shared_incumbent = None
+        #: Optional :class:`repro.core.warmcache.ArchContext` installed
+        #: by the batch runner; shares per-architecture search artifacts
+        #: across tasks.  ``None`` builds a fresh problem per call.
+        self.arch_context = None
+
+    def _problem(self, circuit: Circuit) -> MappingProblem:
+        """Build (or fetch from the warm cache) the problem instance."""
+        context = getattr(self, "arch_context", None)
+        if context is not None:
+            return context.problem(circuit)
+        return MappingProblem(circuit, self.coupling, self.latency)
 
     # ------------------------------------------------------------------
     def map(
@@ -461,7 +472,7 @@ class OptimalMapper:
             return map_mode2_fanout(
                 self, circuit, max_workers=self.mode2_workers
             )
-        problem = MappingProblem(circuit, self.coupling, self.latency)
+        problem = self._problem(circuit)
         terminals = self._search(problem, initial_mapping, find_all=False)
         return terminals[0]
 
@@ -478,7 +489,7 @@ class OptimalMapper:
             initial_mapping: As in :meth:`map`.
             max_solutions: Stop after this many optimal terminals.
         """
-        problem = MappingProblem(circuit, self.coupling, self.latency)
+        problem = self._problem(circuit)
         return self._search(
             problem, initial_mapping, find_all=True, max_solutions=max_solutions
         )
@@ -690,7 +701,18 @@ class OptimalMapper:
             if incumbent is not None and incumbent.depth is not None:
                 shared.offer(incumbent.depth)
 
-        memo = HeuristicMemo() if self.memoize else None
+        memo = None
+        if self.memoize:
+            context = getattr(self, "arch_context", None)
+            if context is not None:
+                # Warm-cache batch runs share the memo across repeats of
+                # the same circuit (pure evaluation cache; the config key
+                # pins the fixed (window, swap_aware) invariant).  The
+                # instrumented branch below still swaps in a metrics-bound
+                # per-run memo.
+                memo = context.memo(problem, ("optimal", self.informed))
+            else:
+                memo = HeuristicMemo()
         total_gates = problem.num_gates
 
         def score(nodes: List[SearchNode]) -> None:
@@ -853,6 +875,9 @@ class OptimalMapper:
                 incumbent is not None or incumbent_node is not None
             ):
                 extra.setdefault(STAT_INCUMBENT_DEPTH, bound)
+            overflow = problem.cache_overflow_total()
+            if overflow:
+                extra.setdefault("problem_cache_overflow", overflow)
             return base_stats(
                 self.mapper_name,
                 nodes_expanded=expanded,

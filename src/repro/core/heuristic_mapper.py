@@ -178,6 +178,17 @@ class HeuristicMapper:
         self.memoize = memoize
         self.telemetry = telemetry
         self.kernel = kernel
+        #: Optional :class:`repro.core.warmcache.ArchContext` installed
+        #: by the batch runner; shares per-architecture search artifacts
+        #: across tasks.  ``None`` builds a fresh problem per call.
+        self.arch_context = None
+
+    def _problem(self, circuit: Circuit) -> MappingProblem:
+        """Build (or fetch from the warm cache) the problem instance."""
+        context = getattr(self, "arch_context", None)
+        if context is not None:
+            return context.problem(circuit)
+        return MappingProblem(circuit, self.coupling, self.latency)
 
     # ------------------------------------------------------------------
     def map(
@@ -193,7 +204,7 @@ class HeuristicMapper:
                 qubits are placed greedily as their first CNOT becomes
                 ready (Section 6.2).
         """
-        problem = MappingProblem(circuit, self.coupling, self.latency)
+        problem = self._problem(circuit)
         level_cap = self.max_expansions_per_level
         failure: Optional[RoutingFailed] = None
         for _attempt in range(3):
@@ -256,7 +267,15 @@ class HeuristicMapper:
 
         memo = None
         if self.memoize:
-            memo = HeuristicMemo(metrics=tele.metrics if enabled else None)
+            context = getattr(self, "arch_context", None)
+            if context is not None and not enabled:
+                # Warm-cache batch runs share the memo across repeats of
+                # the same circuit — sound because the memo key is a pure
+                # function of node state for a fixed (window, swap_aware)
+                # configuration, which the config key pins.
+                memo = context.memo(problem, ("heuristic", self.window))
+            else:
+                memo = HeuristicMemo(metrics=tele.metrics if enabled else None)
 
         if enabled:
             metrics = tele.metrics
@@ -291,6 +310,9 @@ class HeuristicMapper:
                 if memo is not None:
                     extra["memo_hits"] = memo.hits
                     extra["memo_misses"] = memo.misses
+                overflow = problem.cache_overflow_total()
+                if overflow:
+                    extra["problem_cache_overflow"] = overflow
                 return self._reconstruct(
                     problem,
                     node,

@@ -24,12 +24,9 @@ from ..expander import (
     apply_action_set,
     startable_actions,
 )
-from ..problem import MappingProblem
+from ..problem import PROBLEM_CACHE_CAP, MappingProblem
 from ..state import SearchNode
 from .api import KernelBackend
-
-#: Mirror of the ``problem._pending_rows`` cache cap.
-_ROWS_CACHE_MAX = 32768
 
 
 class CompiledBackend(KernelBackend):
@@ -77,8 +74,10 @@ class CompiledBackend(KernelBackend):
                 flat.extend(row)
             flat.extend(ptr)  # singles-fold seed; see _ckernels.c
             buf = flat.tobytes()
-            if len(cache) < _ROWS_CACHE_MAX:
+            if len(cache) < PROBLEM_CACHE_CAP:
                 cache[ptr] = buf
+            else:
+                problem.note_cache_overflow("ck_rows")
         return buf
 
     def _eval_nodes(

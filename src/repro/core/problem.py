@@ -14,6 +14,12 @@ from ..arch.coupling import CouplingGraph
 from ..circuit.circuit import Circuit
 from ..circuit.latency import LatencyModel, uniform_latency
 
+#: Cap on the per-problem memo dictionaries (``_pending_rows``,
+#: ``_active_masks``, and the compiled kernel's row cache).  A safety
+#: valve for enormous runs: past the cap the caches stop admitting new
+#: entries and count the overflow instead of growing without bound.
+PROBLEM_CACHE_CAP = 32768
+
 
 class MappingProblem:
     """An instance of the qubit-mapping problem.
@@ -111,9 +117,14 @@ class MappingProblem:
             self.suffix_load.append(suffix)
 
         self.dist = coupling.distance_matrix
-        self.dist_flat: Tuple[int, ...] = tuple(
-            d for row in self.dist for d in row
-        )
+        # The flattened matrix only depends on the coupling graph, so it
+        # is memoized on the graph instance: every problem sharing the
+        # architecture (e.g. a corpus sweep) reuses one tuple.
+        flat = getattr(coupling, "_dist_flat", None)
+        if flat is None:
+            flat = tuple(d for row in self.dist for d in row)
+            coupling._dist_flat = flat
+        self.dist_flat: Tuple[int, ...] = flat
         self.edges = coupling.edges
         self.neighbors = [coupling.neighbors(p) for p in range(self.num_physical)]
 
@@ -156,6 +167,10 @@ class MappingProblem:
         #: expander's SWAP-candidate restriction (see
         #: :meth:`active_swap_mask`); capped like ``_pending_rows``.
         self._active_masks: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], int] = {}
+        #: Per-cache count of entries dropped because the cache hit
+        #: :data:`PROBLEM_CACHE_CAP` — surfaced in search stats as
+        #: ``problem_cache_overflow`` instead of silently stop-filling.
+        self.cache_overflows: Dict[str, int] = {}
 
         # Per-gate successors along each operand chain.
         self.gate_next: Tuple[Tuple[int, ...], ...] = tuple(
@@ -238,7 +253,8 @@ class MappingProblem:
         Program order, cached per pointer vector: the heuristic evaluates
         many nodes that share scheduling progress but differ in mapping,
         and the pending enumeration only depends on ``ptr``.  The cache
-        is capped (32768 vectors) as a safety valve for enormous runs.
+        is capped at :data:`PROBLEM_CACHE_CAP` vectors as a safety valve
+        for enormous runs; overflow is counted in ``cache_overflows``.
         """
         cache = self._pending_rows
         rows = cache.get(ptr)
@@ -247,8 +263,10 @@ class MappingProblem:
             rows = tuple(
                 gate_row[g] for g in self.pending_two_qubit_gates(ptr)
             )
-            if len(cache) < 32768:
+            if len(cache) < PROBLEM_CACHE_CAP:
                 cache[ptr] = rows
+            else:
+                self.note_cache_overflow("pending_rows")
         return rows
 
     def active_swap_mask(
@@ -300,9 +318,19 @@ class MappingProblem:
                 for r in range(num_physical):
                     if dist_flat[row1 + r] + dist_flat[row2 + r] == d:
                         mask |= 1 << r
-        if len(cache) < 32768:
+        if len(cache) < PROBLEM_CACHE_CAP:
             cache[key] = mask
+        else:
+            self.note_cache_overflow("active_masks")
         return mask
+
+    def note_cache_overflow(self, name: str) -> None:
+        """Record one entry refused by a capped per-problem cache."""
+        self.cache_overflows[name] = self.cache_overflows.get(name, 0) + 1
+
+    def cache_overflow_total(self) -> int:
+        """Total entries refused across all capped per-problem caches."""
+        return sum(self.cache_overflows.values())
 
     def num_pending_gates(self, ptr: Tuple[int, ...]) -> int:
         """Distinct pending gates under ``ptr`` (singles included), O(L)."""

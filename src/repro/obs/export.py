@@ -63,16 +63,26 @@ def _summarize_shard(path: str) -> Dict:
     last_ts: Optional[float] = None
     resource_samples = 0
     last_resource: Dict = {}
+    last_warm: Dict = {}
+    failures: Dict[str, int] = {}
     for record in records:
         kind = record.get("type")
         if kind == "worker_meta" and not meta:
             meta = record
         elif kind == "worker_task":
             tasks += 1
-            ok += 1 if record.get("ok") else 0
+            if record.get("ok"):
+                ok += 1
+            else:
+                reason = str(record.get("error_type") or "unknown")
+                failures[reason] = failures.get(reason, 0) + 1
             run_s += float(record.get("seconds") or 0.0)
             queue_wait_s += float(record.get("queue_wait_s") or 0.0)
             nodes += int(record.get("nodes_expanded") or 0)
+            warm = record.get("warm_cache")
+            if isinstance(warm, dict):
+                # Cumulative per worker — the last snapshot wins.
+                last_warm = warm
             rss = record.get("peak_rss_bytes")
             if rss and rss > peak_rss:
                 peak_rss = rss
@@ -104,6 +114,8 @@ def _summarize_shard(path: str) -> Dict:
         "nodes_expanded": nodes,
         "nodes_per_sec": round(nodes / run_s, 2) if run_s > 0 else 0.0,
         "peak_rss_bytes": peak_rss,
+        "warm_cache": last_warm,
+        "failures": dict(sorted(failures.items())),
         "resource_samples": resource_samples,
         "cpu_user_s": last_resource.get("cpu_user_s", 0.0),
         "cpu_sys_s": last_resource.get("cpu_sys_s", 0.0),
@@ -134,6 +146,18 @@ def fleet_rollup(directory: str) -> Dict:
     run_s = sum(w["run_s"] for w in workers)
     queue_wait_s = sum(w["queue_wait_s"] for w in workers)
     nodes = sum(w["nodes_expanded"] for w in workers)
+    warm_totals: Dict[str, int] = {}
+    failures_by_type: Dict[str, int] = {}
+    for w in workers:
+        for key, value in (w.get("warm_cache") or {}).items():
+            if isinstance(value, (int, float)):
+                warm_totals[key] = warm_totals.get(key, 0) + value
+        for reason, count in (w.get("failures") or {}).items():
+            failures_by_type[reason] = failures_by_type.get(reason, 0) + count
+    warm_lookups = (
+        warm_totals.get("problem_hits", 0)
+        + warm_totals.get("problem_misses", 0)
+    )
     starts = [w["started_ts"] for w in workers if w["started_ts"] is not None]
     ends = [w["last_task_ts"] for w in workers if w["last_task_ts"] is not None]
     wall_s = max(ends) - min(starts) if starts and ends else 0.0
@@ -155,6 +179,13 @@ def fleet_rollup(directory: str) -> Dict:
         "peak_rss_bytes": max(
             (w["peak_rss_bytes"] for w in workers), default=0
         ),
+        "warm_cache": dict(sorted(warm_totals.items())),
+        "warm_cache_hit_rate": (
+            round(warm_totals.get("problem_hits", 0) / warm_lookups, 4)
+            if warm_lookups
+            else 0.0
+        ),
+        "failures": dict(sorted(failures_by_type.items())),
     }
     return {"workers": workers, "fleet": fleet}
 
@@ -222,12 +253,22 @@ def _fmt_bytes(value) -> str:
     return f"{mib:.1f}MiB"
 
 
+def _fmt_failures(failures: Optional[Dict[str, int]]) -> str:
+    """Compact failure digest: ``2xTimeoutError,1xValueError`` or ``-``."""
+    if not failures:
+        return "-"
+    return ",".join(
+        f"{count}x{reason}" for reason, count in sorted(failures.items())
+    )
+
+
 def render_fleet_table(rollup: Dict) -> str:
     """Fixed-width fleet summary: one row per worker plus totals."""
     lines = []
     header = (
         f"{'worker':>10}  {'tasks':>5}  {'ok':>4}  {'run_s':>8}  "
-        f"{'wait_s':>7}  {'nodes':>10}  {'nodes/s':>9}  {'peak_rss':>9}"
+        f"{'wait_s':>7}  {'nodes':>10}  {'nodes/s':>9}  {'peak_rss':>9}  "
+        f"{'failures':<20}"
     )
     lines.append(header)
     lines.append("-" * len(header))
@@ -236,7 +277,8 @@ def render_fleet_table(rollup: Dict) -> str:
             f"{str(w['worker']):>10}  {w['tasks']:>5}  {w['ok']:>4}  "
             f"{w['run_s']:>8.2f}  {w['queue_wait_s']:>7.2f}  "
             f"{w['nodes_expanded']:>10}  {w['nodes_per_sec']:>9.1f}  "
-            f"{_fmt_bytes(w['peak_rss_bytes']):>9}"
+            f"{_fmt_bytes(w['peak_rss_bytes']):>9}  "
+            f"{_fmt_failures(w.get('failures')):<20}"
         )
     fleet = rollup.get("fleet", {})
     if fleet:
@@ -247,7 +289,8 @@ def render_fleet_table(rollup: Dict) -> str:
             f"{fleet.get('queue_wait_s', 0.0):>7.2f}  "
             f"{fleet.get('nodes_expanded', 0):>10}  "
             f"{fleet.get('nodes_per_sec', 0.0):>9.1f}  "
-            f"{_fmt_bytes(fleet.get('peak_rss_bytes')):>9}"
+            f"{_fmt_bytes(fleet.get('peak_rss_bytes')):>9}  "
+            f"{_fmt_failures(fleet.get('failures')):<20}"
         )
         lines.append(
             f"fleet: {fleet.get('workers', 0)} workers, "
@@ -255,6 +298,16 @@ def render_fleet_table(rollup: Dict) -> str:
             f"{fleet.get('wall_s', 0.0):.2f}s wall, "
             f"queue-wait fraction {fleet.get('queue_wait_frac', 0.0):.1%}"
         )
+        warm = fleet.get("warm_cache") or {}
+        lookups = warm.get("problem_hits", 0) + warm.get("problem_misses", 0)
+        if lookups:
+            lines.append(
+                f"warm-cache: hit rate "
+                f"{fleet.get('warm_cache_hit_rate', 0.0):.1%} "
+                f"({warm.get('problem_hits', 0)} hits / {lookups} lookups, "
+                f"{warm.get('problem_evictions', 0)} evictions, "
+                f"{warm.get('contexts', 0)} arch contexts)"
+            )
     return "\n".join(lines)
 
 
@@ -419,6 +472,7 @@ _FLEET_PROM_FIELDS: Tuple[Tuple[str, str], ...] = (
     ("nodes_expanded", "counter"),
     ("nodes_per_sec", "gauge"),
     ("peak_rss_bytes", "gauge"),
+    ("warm_cache_hit_rate", "gauge"),
 )
 
 
@@ -431,6 +485,21 @@ def fleet_to_prometheus(rollup: Dict) -> str:
             name = prometheus_name(f"fleet.{field}")
             lines.append(f"# TYPE {name} {kind}")
             lines.append(_prom_line(name, fleet[field]))
+    warm = fleet.get("warm_cache") or {}
+    for field in sorted(warm):
+        value = warm[field]
+        if isinstance(value, (int, float)):
+            name = prometheus_name(f"fleet.warm_cache.{field}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(_prom_line(name, value))
+    failures = fleet.get("failures") or {}
+    if failures:
+        name = prometheus_name("fleet.failures")
+        lines.append(f"# TYPE {name} counter")
+        for reason in sorted(failures):
+            lines.append(
+                _prom_line(name, failures[reason], {"error_type": reason})
+            )
     typed: set = set()
     for worker in rollup.get("workers", []):
         labels = {"worker": str(worker.get("worker"))}

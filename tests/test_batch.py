@@ -253,3 +253,209 @@ class TestMapBatchCli:
         ])
         assert code == 1
         assert "no files match" in capsys.readouterr().err
+
+
+class TestStealingScheduler:
+    def _stream_tasks(self):
+        """A small request stream with repeated circuits (warm-cache food)."""
+        arch, latency = lnn(4), uniform_latency(1, 3)
+        tasks = []
+        for index in range(9):
+            seed = index % 3  # each circuit recurs three times
+            tasks.append(
+                BatchTask(
+                    label=f"req-{index}",
+                    circuit=random_circuit(4, 6, seed=seed),
+                    mapper=OptimalMapper(arch, latency),
+                )
+            )
+        return tasks
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            map_many(_tasks(2), max_workers=2, scheduler="roundrobin")
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_determinism_across_worker_counts(self, workers):
+        tasks = self._stream_tasks()
+        reference = map_many(tasks, max_workers=1, keep_results=False)
+        stolen = map_many(
+            tasks, max_workers=workers, keep_results=False,
+            scheduler="stealing",
+        )
+        assert [
+            (r.label, r.ok, r.depth, r.swaps, r.stats["nodes_expanded"])
+            for r in stolen
+        ] == [
+            (r.label, r.ok, r.depth, r.swaps, r.stats["nodes_expanded"])
+            for r in reference
+        ]
+
+    def test_warm_cache_results_identical_to_cold(self):
+        tasks = self._stream_tasks()
+        warm = map_many(tasks, max_workers=2, keep_results=False,
+                        scheduler="stealing", warm_cache=True)
+        cold = map_many(tasks, max_workers=2, keep_results=False,
+                        scheduler="stealing", warm_cache=False)
+        assert [
+            (r.label, r.depth, r.swaps, r.stats["nodes_expanded"])
+            for r in warm
+        ] == [
+            (r.label, r.depth, r.swaps, r.stats["nodes_expanded"])
+            for r in cold
+        ]
+
+    def test_failure_contained_with_exception_detail(self):
+        tasks = [
+            BatchTask("ok-0", random_circuit(4, 5, seed=1),
+                      OptimalMapper(lnn(4), uniform_latency(1, 3))),
+            BatchTask("bad", random_circuit(4, 5, seed=2),
+                      ExplodingMapper()),
+            BatchTask("ok-1", random_circuit(4, 5, seed=3),
+                      OptimalMapper(lnn(4), uniform_latency(1, 3))),
+        ]
+        records = map_many(tasks, max_workers=2, scheduler="stealing")
+        assert [r.label for r in records] == ["ok-0", "bad", "ok-1"]
+        assert records[0].ok and records[2].ok
+        bad = records[1]
+        assert not bad.ok
+        assert bad.error_type == "RuntimeError"
+        assert "RuntimeError: boom" in bad.error
+        assert bad.traceback is not None and "boom" in bad.traceback
+
+    def test_orphaned_task_retried_then_reported(self):
+        tasks = [
+            BatchTask("crash", random_circuit(4, 5, seed=3),
+                      WorkerKillingMapper()),
+            BatchTask("ok", random_circuit(4, 5, seed=1),
+                      OptimalMapper(lnn(4), uniform_latency(1, 3))),
+        ]
+        records = map_many(
+            tasks, max_workers=2, scheduler="stealing", orphan_retries=1,
+        )
+        assert [r.label for r in records] == ["crash", "ok"]
+        crash = records[0]
+        assert not crash.ok
+        assert crash.error_type == "WorkerCrashed"
+        assert "worker failed" in crash.error
+        assert "attempt 2" in crash.error  # retried once, then gave up
+        assert records[1].ok
+
+    def test_budget_failure_carries_error_type(self):
+        tasks = [
+            BatchTask("too-big", qft_skeleton(5),
+                      OptimalMapper(lnn(5), uniform_latency(1, 3)))
+        ]
+        (rec,) = map_many(tasks, max_workers=2, scheduler="stealing",
+                          max_nodes=5)
+        assert not rec.ok
+        assert rec.error_type == "SearchBudgetExceeded"
+
+
+class TestStaticChunkSizing:
+    @pytest.mark.parametrize("count,workers", [(6, 4), (8, 3), (9, 2)])
+    def test_at_least_one_chunk_per_worker(self, monkeypatch, count,
+                                           workers):
+        from concurrent.futures import Future
+
+        from repro.analysis import batch as batch_mod
+
+        submitted = []
+
+        class InlinePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def submit(self, fn, chunk, *args, **kwargs):
+                submitted.append(len(chunk))
+                future = Future()
+                future.set_result(fn(chunk, *args, **kwargs))
+                return future
+
+        monkeypatch.setattr(batch_mod, "ProcessPoolExecutor", InlinePool)
+        records = map_many(
+            _tasks(count), max_workers=workers, scheduler="static",
+        )
+        assert len(records) == count and all(r.ok for r in records)
+        assert len(submitted) >= min(workers, count)
+        assert sum(submitted) == count
+
+
+class TestMapBatchResume:
+    @pytest.fixture()
+    def qasm_dir(self, tmp_path):
+        directory = tmp_path / "circuits"
+        directory.mkdir()
+        for seed in range(3):
+            (directory / f"c{seed}.qasm").write_text(
+                to_qasm(random_circuit(4, 6, seed=seed))
+            )
+        return directory
+
+    def test_resume_skips_completed_circuits(self, qasm_dir, tmp_path,
+                                             capsys):
+        from repro.cli import main
+
+        out_json = tmp_path / "report.json"
+        argv = [
+            "map-batch", "--dir", str(qasm_dir), "--arch", "lnn-4",
+            "--mapper", "optimal", "--workers", "1",
+            "--json-out", str(out_json),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+
+        # A new circuit arrives; resume maps only that one.
+        (qasm_dir / "c3.qasm").write_text(
+            to_qasm(random_circuit(4, 6, seed=9))
+        )
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resume: 3/4 circuits already mapped" in out
+        payload = json.loads(out_json.read_text())
+        assert len(payload["records"]) == 4
+        assert payload["summary"]["succeeded"] == 4
+        assert [r["label"] for r in payload["records"]] == [
+            "c0", "c1", "c2", "c3"
+        ]
+
+    def test_resume_reruns_failed_circuits(self, qasm_dir, tmp_path,
+                                           capsys):
+        from repro.cli import main
+
+        out_json = tmp_path / "report.json"
+        base = [
+            "map-batch", "--dir", str(qasm_dir), "--arch", "lnn-4",
+            "--mapper", "optimal", "--workers", "1",
+            "--json-out", str(out_json),
+        ]
+        assert main(base + ["--max-nodes", "2"]) == 2  # most circuits fail
+        capsys.readouterr()
+        first = json.loads(out_json.read_text())
+        already_ok = sum(1 for r in first["records"] if r["ok"])
+        assert already_ok < 3  # the tiny budget really did fail some
+
+        assert main(base + ["--resume"]) == 0  # failures re-run, succeed
+        out = capsys.readouterr().out
+        if already_ok:
+            assert (
+                f"resume: {already_ok}/3 circuits already mapped" in out
+            )
+        payload = json.loads(out_json.read_text())
+        assert payload["summary"]["succeeded"] == 3
+
+    def test_resume_requires_json_out(self, qasm_dir, capsys):
+        from repro.cli import main
+
+        code = main([
+            "map-batch", "--dir", str(qasm_dir), "--arch", "lnn-4",
+            "--resume",
+        ])
+        assert code == 1
+        assert "--resume needs --json-out" in capsys.readouterr().err

@@ -1,0 +1,168 @@
+"""Tests for the corpus throughput harness (``repro.analysis.corpus``)."""
+
+import json
+
+import pytest
+
+from repro.analysis.corpus import (
+    append_corpus_trajectory,
+    base_circuits,
+    build_corpus,
+    corpus_suite,
+    identity_mismatches,
+    run_corpus,
+)
+from repro.arch import lnn
+from repro.circuit import uniform_latency
+from repro.core import HeuristicMapper
+
+
+def _mapper_factory():
+    return HeuristicMapper(lnn(5), uniform_latency(1, 3))
+
+
+class TestBuildCorpus:
+    def test_deterministic_for_a_seed(self):
+        first = build_corpus(20, seed=3, max_qubits=5)
+        second = build_corpus(20, seed=3, max_qubits=5)
+        assert [label for label, _ in first] == [
+            label for label, _ in second
+        ]
+        assert build_corpus(20, seed=4, max_qubits=5) != first
+
+    def test_size_repeats_and_unique_labels(self):
+        stream = build_corpus(20, seed=0, max_qubits=5, repeat_factor=4)
+        labels = [label for label, _ in stream]
+        assert len(stream) == 20
+        assert len(set(labels)) == 20  # occurrence-suffixed labels
+        bases = {label.rsplit("@", 1)[0] for label in labels}
+        assert len(bases) <= 5  # 20 requests / repeat factor 4
+        assert len(bases) < len(stream)  # repetition actually happens
+
+    def test_max_qubits_filters_pool(self):
+        for _, circuit in base_circuits(max_qubits=5):
+            assert circuit.num_qubits <= 5
+        for label, circuit in build_corpus(10, max_qubits=5):
+            assert circuit.num_qubits <= 5
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            build_corpus(0)
+        with pytest.raises(ValueError):
+            build_corpus(10, repeat_factor=0)
+        with pytest.raises(ValueError):
+            build_corpus(10, max_qubits=0)
+
+
+class TestRunCorpus:
+    def test_sequential_summary_shape(self):
+        stream = build_corpus(6, seed=0, max_qubits=5, repeat_factor=3)
+        summary = run_corpus(stream, _mapper_factory, workers=1)
+        assert summary["circuits"] == 6
+        assert summary["ok"] == 6 and summary["failed"] == 0
+        assert summary["circuits_per_min"] > 0
+        assert summary["nodes_expanded"] > 0
+        assert len(summary["records"]) == 6
+        # no telemetry dir → rollup-derived fields are absent, not fake
+        assert summary["queue_wait_frac"] is None
+        assert summary["warm_cache_hit_rate"] is None
+
+    def test_telemetry_dir_fills_fleet_fields(self, tmp_path):
+        stream = build_corpus(6, seed=0, max_qubits=5, repeat_factor=3)
+        summary = run_corpus(
+            stream, _mapper_factory, workers=2,
+            telemetry_dir=str(tmp_path),
+        )
+        assert summary["ok"] == 6
+        assert summary["queue_wait_frac"] is not None
+        assert summary["warm_cache_hit_rate"] is not None
+        assert (tmp_path / "fleet.json").exists()
+
+    def test_identity_same_stream_matches(self):
+        stream = build_corpus(6, seed=1, max_qubits=5, repeat_factor=3)
+        warm = run_corpus(stream, _mapper_factory, workers=2)
+        reference = run_corpus(stream, _mapper_factory, workers=1)
+        assert identity_mismatches(warm, reference) == []
+
+    def test_identity_flags_divergence(self):
+        stream = build_corpus(4, seed=1, max_qubits=5, repeat_factor=2)
+        a = run_corpus(stream, _mapper_factory, workers=1)
+        b = run_corpus(stream, _mapper_factory, workers=1)
+        b["records"][0]["depth"] = -1
+        mismatches = identity_mismatches(a, b)
+        assert len(mismatches) == 1 and "depth" in mismatches[0]
+
+
+class TestTrajectoryRecording:
+    def _summary(self, cpm):
+        return {
+            "scheduler": "stealing", "warm_cache": True, "workers": 4,
+            "circuits": 100, "ok": 100, "failed": 0,
+            "wall_seconds": 6000.0 / cpm, "circuits_per_min": cpm,
+            "mapping_seconds": 10.0, "nodes_expanded": 1234,
+            "queue_wait_frac": 0.2, "warm_cache_hit_rate": 0.75,
+            "records": [],
+        }
+
+    def test_append_creates_and_extends_trajectory(self, tmp_path):
+        path = str(tmp_path / "BENCH_search.json")
+        name, suite = corpus_suite(self._summary(120.0))
+        assert name == "corpus_fleet"
+        entry = append_corpus_trajectory(path, {name: suite},
+                                         kernel_backend="pure")
+        assert entry["suites"]["corpus_fleet"]["circuits_per_min"] == 120.0
+        append_corpus_trajectory(path, {name: suite},
+                                 kernel_backend="pure")
+        report = json.loads((tmp_path / "BENCH_search.json").read_text())
+        assert report["schema"] == "repro.bench_search/2"
+        assert len(report["trajectory"]) == 2
+        recorded = report["trajectory"][0]["suites"]["corpus_fleet"]
+        assert recorded["warm_cache_hit_rate"] == 0.75
+        assert recorded["queue_wait_frac"] == 0.2
+
+    def test_check_trend_gates_throughput(self, tmp_path):
+        from repro.analysis.diagnose import check_trend
+
+        path = str(tmp_path / "BENCH_search.json")
+        fast = corpus_suite(self._summary(120.0))
+        slow = corpus_suite(self._summary(50.0))  # < 0.67 × 120
+        append_corpus_trajectory(path, {fast[0]: fast[1]},
+                                 kernel_backend="pure")
+        append_corpus_trajectory(path, {slow[0]: slow[1]},
+                                 kernel_backend="pure")
+        report = json.loads((tmp_path / "BENCH_search.json").read_text())
+        ok, messages = check_trend(report)
+        assert not ok
+        assert any("circuits_per_min regressed" in m for m in messages)
+
+        # within tolerance passes
+        fine = corpus_suite(self._summary(110.0))
+        append_corpus_trajectory(path, {fine[0]: fine[1]},
+                                 kernel_backend="pure")
+        report = json.loads((tmp_path / "BENCH_search.json").read_text())
+        ok, messages = check_trend(report)
+        assert ok
+        assert any("circuits_per_min 110.0" in m for m in messages)
+
+
+class TestCorpusCli:
+    def test_corpus_command_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench_json = tmp_path / "BENCH_search.json"
+        code = main([
+            "corpus", "--size", "6", "--repeat-factor", "3",
+            "--arch", "lnn-5", "--latency", "unit", "--workers", "1",
+            "--verify-identity", "--record",
+            "--bench-json", str(bench_json),
+            "--json-out", str(tmp_path / "corpus.json"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 requests" in out
+        assert "circuits/min" in out
+        assert "identity      : OK" in out
+        report = json.loads(bench_json.read_text())
+        assert "corpus_fleet" in report["trajectory"][-1]["suites"]
+        payload = json.loads((tmp_path / "corpus.json").read_text())
+        assert payload["corpus"]["ok"] == 6

@@ -420,3 +420,96 @@ class TestOverheadGate:
             f"flight recorder overhead too high: bare {bare:.0f} nodes/s "
             f"vs recorded {recorded:.0f} nodes/s"
         )
+
+
+def _emit_task(sink, worker, index, ok=True, error_type=None,
+               warm_cache=None, nodes=100, seconds=1.0):
+    record = {
+        "type": "worker_task", "worker": worker, "label": f"t{index}",
+        "ok": ok, "seconds": seconds, "queue_wait_s": 0.25,
+        "nodes_expanded": nodes, "depth": 10,
+        "peak_rss_bytes": 10_000, "ts": 1000.0 + index + 1,
+    }
+    if error_type is not None:
+        record["error_type"] = error_type
+    if warm_cache is not None:
+        record["warm_cache"] = warm_cache
+    sink.emit(record)
+
+
+class TestFleetFailuresAndWarmCache:
+    def _write_shards(self, directory):
+        with JsonlSink(os.path.join(directory, "worker-1.jsonl")) as sink:
+            sink.emit({"type": "worker_meta", "worker": 1, "pid": 1,
+                       "started_ts": 1000.0})
+            _emit_task(sink, 1, 0,
+                       warm_cache={"arch_hits": 0, "arch_misses": 1,
+                                   "problem_hits": 0, "problem_misses": 1,
+                                   "problem_evictions": 0, "contexts": 1})
+            _emit_task(sink, 1, 1, ok=False, error_type="RuntimeError",
+                       warm_cache={"arch_hits": 1, "arch_misses": 1,
+                                   "problem_hits": 1, "problem_misses": 1,
+                                   "problem_evictions": 0, "contexts": 1})
+        with JsonlSink(os.path.join(directory, "worker-2.jsonl")) as sink:
+            sink.emit({"type": "worker_meta", "worker": 2, "pid": 2,
+                       "started_ts": 1000.0})
+            _emit_task(sink, 2, 2, ok=False,
+                       error_type="SearchBudgetExceeded",
+                       warm_cache={"arch_hits": 0, "arch_misses": 1,
+                                   "problem_hits": 2, "problem_misses": 1,
+                                   "problem_evictions": 1, "contexts": 1})
+            _emit_task(sink, 2, 3, ok=False)  # no error_type recorded
+
+    def test_rollup_aggregates_failures_and_warm_counters(self, tmp_path):
+        d = str(tmp_path)
+        self._write_shards(d)
+        rollup = fleet_rollup(d)
+        workers = {w["worker"]: w for w in rollup["workers"]}
+        # Per worker: last cumulative warm snapshot wins, failures by type.
+        assert workers[1]["warm_cache"]["problem_hits"] == 1
+        assert workers[1]["failures"] == {"RuntimeError": 1}
+        assert workers[2]["failures"] == {
+            "SearchBudgetExceeded": 1, "unknown": 1,
+        }
+        fleet = rollup["fleet"]
+        assert fleet["failed"] == 3
+        assert fleet["failures"] == {
+            "RuntimeError": 1, "SearchBudgetExceeded": 1, "unknown": 1,
+        }
+        # Summed across workers: hits 1+2=3, misses 1+1=2 → 3/5.
+        assert fleet["warm_cache"]["problem_hits"] == 3
+        assert fleet["warm_cache"]["problem_misses"] == 2
+        assert fleet["warm_cache"]["problem_evictions"] == 1
+        assert fleet["warm_cache_hit_rate"] == pytest.approx(0.6)
+
+    def test_table_renders_failure_column_and_warm_line(self, tmp_path):
+        d = str(tmp_path)
+        self._write_shards(d)
+        table = render_fleet_table(fleet_rollup(d))
+        assert "failures" in table
+        assert "1xRuntimeError" in table
+        assert "1xSearchBudgetExceeded,1xunknown" in table
+        assert "warm-cache: hit rate 60.0%" in table
+
+    def test_prometheus_exports_warm_and_failure_series(self, tmp_path):
+        d = str(tmp_path)
+        self._write_shards(d)
+        text = fleet_to_prometheus(fleet_rollup(d))
+        assert "repro_fleet_warm_cache_hit_rate 0.6" in text
+        assert "repro_fleet_warm_cache_problem_hits 3" in text
+        assert 'repro_fleet_failures{error_type="RuntimeError"} 1' in text
+
+    def test_fleet_without_failures_or_warm_data_stays_clean(self, tmp_path):
+        d = str(tmp_path)
+        with JsonlSink(os.path.join(d, "worker-1.jsonl")) as sink:
+            sink.emit({"type": "worker_meta", "worker": 1, "pid": 1,
+                       "started_ts": 1000.0})
+            _emit_task(sink, 1, 0)
+        rollup = fleet_rollup(d)
+        fleet = rollup["fleet"]
+        assert fleet["failures"] == {}
+        assert fleet["warm_cache"] == {}
+        assert fleet["warm_cache_hit_rate"] == 0.0
+        table = render_fleet_table(rollup)
+        assert "warm-cache:" not in table  # no lookups, no noise line
+        assert "-" in table  # empty failure column placeholder

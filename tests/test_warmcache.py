@@ -1,0 +1,142 @@
+"""Tests for the per-worker architecture warm cache (``repro.core.warmcache``)."""
+
+import pytest
+
+from repro.arch import grid, lnn
+from repro.circuit import IBM_LATENCY, uniform_latency
+from repro.circuit.generators import qft_skeleton, random_circuit
+from repro.core import HeuristicMapper, OptimalMapper
+from repro.core.warmcache import (
+    ArchContext,
+    WarmCachePool,
+    arch_fingerprint,
+    circuit_fingerprint,
+    coupling_fingerprint,
+    latency_fingerprint,
+)
+
+
+class TestFingerprints:
+    def test_structural_equality_across_instances(self):
+        assert coupling_fingerprint(lnn(4)) == coupling_fingerprint(lnn(4))
+        assert circuit_fingerprint(qft_skeleton(5)) == circuit_fingerprint(
+            qft_skeleton(5)
+        )
+
+    def test_distinct_structures_do_not_collide(self):
+        assert coupling_fingerprint(lnn(4)) != coupling_fingerprint(lnn(5))
+        assert coupling_fingerprint(lnn(6)) != coupling_fingerprint(
+            grid(2, 3)
+        )
+        assert circuit_fingerprint(qft_skeleton(4)) != circuit_fingerprint(
+            qft_skeleton(5)
+        )
+        assert circuit_fingerprint(
+            random_circuit(4, 6, seed=0)
+        ) != circuit_fingerprint(random_circuit(4, 6, seed=1))
+
+    def test_latency_model_distinguishes_arch_fingerprint(self):
+        device = lnn(4)
+        assert arch_fingerprint(device, uniform_latency(1, 3)) != (
+            arch_fingerprint(device, IBM_LATENCY)
+        )
+        assert latency_fingerprint(uniform_latency(1, 3)) != (
+            latency_fingerprint(IBM_LATENCY)
+        )
+
+    def test_none_latency_resolves_like_mapping_problem(self):
+        # None must hash identically to the explicit default it resolves
+        # to — otherwise one device would get two contexts.
+        device = lnn(4)
+        assert arch_fingerprint(device, None) == arch_fingerprint(
+            device, uniform_latency()
+        )
+
+
+class TestArchContextLru:
+    def test_problem_hit_miss_and_eviction_counters(self):
+        context = ArchContext(lnn(4), uniform_latency(1, 3), max_problems=2)
+        a, b, c = (random_circuit(4, 6, seed=s) for s in range(3))
+        first = context.problem(a)
+        assert context.problem(a) is first
+        assert (context.problem_hits, context.problem_misses) == (1, 1)
+        context.problem(b)
+        context.problem(c)  # evicts a (LRU)
+        assert context.problem_evictions == 1
+        assert context.problem(a) is not first  # rebuilt after eviction
+        assert context.problem_misses == 4  # a, b, c, and a again
+
+    def test_problems_share_split_lut(self):
+        context = ArchContext(lnn(4), uniform_latency(1, 3))
+        p1 = context.problem(random_circuit(4, 6, seed=0))
+        p2 = context.problem(random_circuit(4, 6, seed=1))
+        assert p1.split_lut is p2.split_lut is context.split_lut
+
+    def test_memo_persists_per_config_key(self):
+        context = ArchContext(lnn(4), uniform_latency(1, 3))
+        problem = context.problem(random_circuit(4, 6, seed=0))
+        memo = context.memo(problem, ("heuristic", None))
+        assert context.memo(problem, ("heuristic", None)) is memo
+        assert context.memo(problem, ("optimal", True)) is not memo
+
+
+class TestWarmCachePool:
+    def test_structurally_equal_devices_share_a_context(self):
+        pool = WarmCachePool()
+        first = pool.context(lnn(4), uniform_latency(1, 3))
+        again = pool.context(lnn(4), uniform_latency(1, 3))  # new instances
+        assert again is first
+        assert (pool.arch_hits, pool.arch_misses) == (1, 1)
+
+    def test_distinct_devices_get_distinct_contexts(self):
+        pool = WarmCachePool()
+        a = pool.context(lnn(4), uniform_latency(1, 3))
+        b = pool.context(lnn(4), IBM_LATENCY)
+        c = pool.context(grid(2, 3), uniform_latency(1, 3))
+        assert len({id(a), id(b), id(c)}) == 3
+        assert pool.counters()["contexts"] == 3
+
+    def test_counters_aggregate_across_contexts(self):
+        pool = WarmCachePool()
+        circuit = random_circuit(4, 6, seed=0)
+        pool.context(lnn(4)).problem(circuit)
+        pool.context(lnn(4)).problem(circuit)
+        totals = pool.counters()
+        assert totals["problem_hits"] == 1
+        assert totals["problem_misses"] == 1
+        pool.reset()
+        assert pool.counters()["contexts"] == 0
+
+
+class TestWarmBitIdentity:
+    """Warm-cache runs must be bit-identical to cold runs."""
+
+    @pytest.mark.parametrize("mapper_cls", [HeuristicMapper, OptimalMapper])
+    def test_repeat_maps_identical_cold_vs_warm(self, mapper_cls):
+        device, latency = lnn(5), uniform_latency(1, 3)
+        circuit = qft_skeleton(5)
+
+        cold = mapper_cls(device, latency).map(circuit)
+        warm_mapper = mapper_cls(device, latency)
+        warm_mapper.arch_context = WarmCachePool().context(device, latency)
+        runs = [warm_mapper.map(circuit) for _ in range(3)]
+
+        for result in runs:
+            assert result.depth == cold.depth
+            assert result.ops == cold.ops
+            assert result.initial_mapping == cold.initial_mapping
+            assert (
+                result.stats["nodes_expanded"]
+                == cold.stats["nodes_expanded"]
+            )
+
+    def test_warm_repeat_hits_the_memo(self):
+        device, latency = lnn(5), uniform_latency(1, 3)
+        circuit = qft_skeleton(5)
+        mapper = HeuristicMapper(device, latency)
+        mapper.arch_context = WarmCachePool().context(device, latency)
+        first = mapper.map(circuit)
+        second = mapper.map(circuit)
+        # The second run re-sees every state the first evaluated.
+        assert second.stats["memo_hits"] > first.stats["memo_hits"]
+        assert mapper.arch_context.problem_hits >= 1
