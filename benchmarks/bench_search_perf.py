@@ -153,6 +153,60 @@ def _run_exact_solve(num_qubits: int, arch, iterations: int,
     }
 
 
+def _run_portfolio_solve(num_qubits: int, arch, iterations: int,
+                         kernel: Optional[str]) -> Dict:
+    """Portfolio race to a proven optimum, against the seeded baseline.
+
+    Records the before/after node counts the portfolio work is judged
+    by: ``baseline_nodes_expanded`` is the incumbent-seeded exact search
+    (the pre-portfolio configuration), ``nodes_expanded`` the portfolio
+    exact lane with every bound on.  Both are deterministic — the held
+    seed is offered before the exact lane starts and the side lanes
+    never beat it on these instances — so ``bench-trend --check`` gates
+    on the node count as tightly as on the other solve suites.
+    """
+    from repro.analysis.portfolio import PortfolioMapper
+
+    circuit = qft_skeleton(num_qubits)
+    latency = uniform_latency(1, 3)
+    baseline = OptimalMapper(
+        arch, latency, search_initial_mapping=True, kernel=kernel
+    ).map(circuit)
+    samples = []
+    depth = None
+    optimal = False
+    for _ in range(iterations):
+        result = PortfolioMapper(arch, latency, kernel=kernel).map(circuit)
+        depth = result.depth
+        optimal = result.optimal
+        samples.append(result.stats)
+    rates = [s["nodes_expanded"] / s["seconds"] for s in samples]
+    mid = samples[len(samples) // 2]
+    nodes = int(mid["nodes_expanded"])
+    base_nodes = int(baseline.stats["nodes_expanded"])
+    return {
+        "kind": "portfolio-solve-mode2",
+        "iterations": iterations,
+        "depth": depth,
+        "optimal": optimal,
+        "lanes_finished": int(mid.get("lanes_finished", 0)),
+        "winner_lane": mid.get("winner_lane"),
+        "nodes_expanded": nodes,
+        "closed_dominated": int(mid.get("closed_dominated", 0)),
+        "root_candidates_restricted": int(
+            mid.get("root_candidates_restricted", 0)
+        ),
+        "baseline_nodes_expanded": base_nodes,
+        "nodes_reduction_pct": (
+            round(100.0 * (base_nodes - nodes) / base_nodes, 1)
+            if base_nodes else 0.0
+        ),
+        "wall_seconds": statistics.median(s["seconds"] for s in samples),
+        "nodes_per_sec": statistics.median(rates),
+        "memo_hit_rate": _memo_hit_rate(mid),
+    }
+
+
 def _run_heuristic(num_qubits: int, iterations: int,
                    kernel: Optional[str]) -> Dict:
     """Practical-mapper probe (layer-limited search, trimmed queue)."""
@@ -219,6 +273,9 @@ def run_suites(tiny: bool, pruned: bool = True,
             "qft4_lnn_solve": _run_exact_solve(
                 4, lnn(4), iterations=3, pruned=pruned, kernel=kernel
             ),
+            "portfolio_qft_lnn": _run_portfolio_solve(
+                4, lnn(4), iterations=1, kernel=kernel
+            ),
             "heuristic_qft6_lnn": _run_heuristic(
                 6, iterations=2, kernel=kernel
             ),
@@ -235,6 +292,9 @@ def run_suites(tiny: bool, pruned: bool = True,
         ),
         "qft6_2xn_solve": _run_exact_solve(
             6, grid(2, 3), iterations=3, pruned=pruned, kernel=kernel
+        ),
+        "portfolio_qft_lnn": _run_portfolio_solve(
+            5, lnn(5), iterations=3, kernel=kernel
         ),
         "heuristic_qft8_lnn": _run_heuristic(8, iterations=3, kernel=kernel),
         "batch_random5": _run_batch(num_circuits=4, workers=1, kernel=kernel),

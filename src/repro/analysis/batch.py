@@ -88,6 +88,7 @@ from ..obs.runtime import peak_rss_bytes
 from ..obs.telemetry import Telemetry, TelemetrySpec, resolve
 from ..obs.trace import (
     INCUMBENT_SEED,
+    PRUNE_ROOT_RESTRICTION,
     PRUNE_SYMMETRY,
     TraceRecorder,
     TraceSpec,
@@ -773,6 +774,10 @@ _FANOUT_SUM_KEYS = (
     "incumbent_updates",
     "swaps_restricted",
     "symmetry_pruned",
+    "pruned_by_assignment_lb",
+    "pruned_by_layer_weight",
+    "root_candidates_restricted",
+    "closed_dominated",
 )
 
 
@@ -975,6 +980,23 @@ def map_mode2_fanout(
         # Orbit-mates dropped during root enumeration — the fan-out's
         # analogue of the serial prefix quotient.
         trace.prune(PRUNE_SYMMETRY, count=sym_counters["symmetry_pruned"])
+    root_restricted = 0
+    if getattr(mapper, "root_restriction", False):
+        # Burgholzer-style candidate restriction (repro.core.bounds): a
+        # root placing no dependency-free pair on an edge cannot begin an
+        # optimal schedule.  The enumeration above already covers every
+        # prefix-reachable mapping, so dropping a root here loses nothing
+        # the serial search's kept-prefix expansion would have found.
+        from ..core.bounds import root_mapping_allowed, root_restriction_pairs
+        pairs = root_restriction_pairs(problem)
+        if pairs is not None:
+            kept = [m for m in mappings
+                    if root_mapping_allowed(problem, m, pairs)]
+            if kept:  # all-restricted would leave nothing to certify with
+                root_restricted = len(mappings) - len(kept)
+                mappings = kept
+            if root_restricted and trace is not None:
+                trace.prune(PRUNE_ROOT_RESTRICTION, count=root_restricted)
     workers = _default_workers() if max_workers is None else max_workers
     workers = max(1, min(workers, len(mappings)))
 
@@ -989,6 +1011,7 @@ def map_mode2_fanout(
 
     totals: Dict[str, int] = {key: 0 for key in _FANOUT_SUM_KEYS}
     totals["symmetry_pruned"] = sym_counters.get("symmetry_pruned", 0)
+    totals["root_candidates_restricted"] = root_restricted
     roots_searched = 0
 
     def accumulate(stats: Dict) -> None:

@@ -45,6 +45,10 @@ RECONCILED_STATS = (
     "killed",
     "swaps_restricted",
     "symmetry_pruned",
+    "pruned_by_assignment_lb",
+    "pruned_by_layer_weight",
+    "root_candidates_restricted",
+    "closed_dominated",
 )
 
 #: BENCH_search.json schema versions :func:`check_trend` understands.

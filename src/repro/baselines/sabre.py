@@ -62,6 +62,7 @@ class SabreMapper:
         seed: int = 0,
         passes: int = 3,
         telemetry: Optional[Telemetry] = None,
+        shared_incumbent=None,
     ) -> None:
         self.coupling = coupling
         self.latency = latency if latency is not None else uniform_latency()
@@ -72,6 +73,10 @@ class SabreMapper:
         self.seed = seed
         self.passes = passes
         self.telemetry = telemetry
+        #: Optional cross-lane incumbent (``SharedBound``-like object with
+        #: an ``offer(depth)`` method); every finished routing publishes
+        #: its depth so a racing exact search can tighten its pruning.
+        self.shared_incumbent = shared_incumbent
 
     # ------------------------------------------------------------------
     def map(
@@ -118,7 +123,7 @@ class SabreMapper:
                 )
         if tele.enabled:
             tele.emit_metrics_snapshot(label="search_complete")
-        return result_from_routed_ops(
+        result = result_from_routed_ops(
             circuit,
             self.coupling,
             self.latency,
@@ -132,6 +137,9 @@ class SabreMapper:
                 passes=self.passes,
             ),
         )
+        if self.shared_incumbent is not None:
+            self.shared_incumbent.offer(result.depth)
+        return result
 
     # ------------------------------------------------------------------
     def _route(

@@ -84,6 +84,26 @@ def _load_circuit(spec: str) -> Circuit:
     return load_qasm_file(spec)
 
 
+#: The four literature-grade pruning levers shared by ``optimal`` and
+#: ``portfolio``: mapper keyword → CLI attribute.  Tri-state flags
+#: (``--X`` / ``--no-X`` / absent), so each mapper keeps its own default
+#: (all off for ``optimal``, all on for ``portfolio``) unless overridden.
+_BOUND_FLAGS = {
+    "assignment_bound": "assignment_bound",
+    "layer_bound": "layer_bound",
+    "root_restriction": "root_restriction",
+    "closed_dominance": "closed_dominance",
+}
+
+
+def _bound_kwargs(args, default: bool) -> dict:
+    kwargs = {}
+    for keyword, attr in _BOUND_FLAGS.items():
+        value = getattr(args, attr, None)
+        kwargs[keyword] = default if value is None else value
+    return kwargs
+
+
 def _build_mapper(name: str, coupling, latency: LatencyModel, args,
                   telemetry: Optional[Telemetry] = None):
     if name == "optimal":
@@ -93,6 +113,7 @@ def _build_mapper(name: str, coupling, latency: LatencyModel, args,
             coupling,
             latency,
             search_initial_mapping=args.search_initial,
+            max_nodes=getattr(args, "max_nodes", None),
             max_seconds=args.budget,
             deadline=getattr(args, "deadline", None),
             prune_swaps=not getattr(args, "no_prune_swaps", False),
@@ -103,6 +124,32 @@ def _build_mapper(name: str, coupling, latency: LatencyModel, args,
             mode2_workers=getattr(args, "mode2_workers", None),
             telemetry=telemetry,
             kernel=getattr(args, "kernel", None),
+            **_bound_kwargs(args, default=False),
+        )
+    if name == "portfolio":
+        from .analysis.portfolio import PortfolioMapper
+
+        lanes = [
+            lane.strip()
+            for lane in getattr(
+                args, "portfolio_lanes", "exact,heuristic,sabre"
+            ).split(",")
+            if lane.strip()
+        ]
+        # The exhaustion promotion needs the exact lane's space to cover
+        # the side lanes' placements, so the portfolio always runs mode 2
+        # (--search-initial is implied).
+        return PortfolioMapper(
+            coupling,
+            latency,
+            lanes=lanes,
+            deadline=getattr(args, "deadline", None),
+            max_nodes=getattr(args, "max_nodes", None),
+            max_seconds=args.budget,
+            sabre_seed=args.seed,
+            telemetry=telemetry,
+            kernel=getattr(args, "kernel", None),
+            **_bound_kwargs(args, default=True),
         )
     if name == "heuristic":
         return HeuristicMapper(
@@ -803,7 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--mapper",
         default="optimal",
         choices=["optimal", "heuristic", "sabre", "zulehner", "olsq",
-                 "trivial"],
+                 "trivial", "portfolio"],
     )
     map_cmd.add_argument(
         "--latency", default="unit", choices=sorted(_LATENCIES)
@@ -833,6 +880,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-symmetry-reduction", action="store_true",
         help="do not deduplicate mode-2 initial mappings up to "
              "coupling-graph automorphism (ablation)",
+    )
+    map_cmd.add_argument(
+        "--assignment-bound", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="assignment-relaxation lower bound on suffix work "
+             "(default: off for optimal, on for portfolio)",
+    )
+    map_cmd.add_argument(
+        "--layer-bound", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="layer-weight capacity lower bound "
+             "(default: off for optimal, on for portfolio)",
+    )
+    map_cmd.add_argument(
+        "--root-restriction", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="mode-2 root restriction: skip real-schedule roots placing "
+             "no ready 2-qubit gate on an edge "
+             "(default: off for optimal, on for portfolio)",
+    )
+    map_cmd.add_argument(
+        "--closed-dominance", action=argparse.BooleanOptionalAction,
+        default=None,
+        help="let closed filter entries dominate non-descendant "
+             "newcomers (default: off for optimal, on for portfolio)",
+    )
+    map_cmd.add_argument(
+        "--portfolio-lanes", default="exact,heuristic,sabre",
+        metavar="LANES",
+        help="comma-separated portfolio lanes "
+             "(subset of exact,heuristic,sabre)",
+    )
+    map_cmd.add_argument(
+        "--max-nodes", type=int, default=None,
+        help="node budget for the exact search / exact portfolio lane",
     )
     map_cmd.add_argument(
         "--mode2-workers", type=int, default=None,
@@ -924,7 +1006,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--mapper",
         default="heuristic",
         choices=["optimal", "heuristic", "sabre", "zulehner", "olsq",
-                 "trivial"],
+                 "trivial", "portfolio"],
+    )
+    batch_cmd.add_argument(
+        "--portfolio-lanes", default="exact,heuristic,sabre",
+        metavar="LANES",
+        help="comma-separated lanes for --mapper portfolio",
+    )
+    batch_cmd.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-circuit anytime budget (s) for --mapper portfolio",
     )
     batch_cmd.add_argument(
         "--latency", default="unit", choices=sorted(_LATENCIES)
@@ -999,7 +1090,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--mapper",
         default="heuristic",
         choices=["optimal", "heuristic", "sabre", "zulehner", "olsq",
-                 "trivial"],
+                 "trivial", "portfolio"],
+    )
+    corpus_cmd.add_argument(
+        "--portfolio-lanes", default="exact,heuristic,sabre",
+        metavar="LANES",
+        help="comma-separated lanes for --mapper portfolio",
+    )
+    corpus_cmd.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-circuit anytime budget (s) for --mapper portfolio",
     )
     corpus_cmd.add_argument(
         "--workers", type=int, default=4,

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import (
     PRUNE_BOUND_KILL,
+    PRUNE_CLOSED_DOMINANCE,
     PRUNE_DOMINANCE,
     PRUNE_DOMINANCE_KILL,
     PRUNE_EQUIVALENCE,
@@ -65,6 +66,7 @@ class StateFilter:
         problem: MappingProblem,
         dominance: bool = True,
         live_only: bool = False,
+        closed_dominance: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         trace=None,
         kernel: Optional[KernelBackend] = None,
@@ -72,6 +74,16 @@ class StateFilter:
         self._problem = problem
         self._dominance = dominance
         self._live_only = live_only
+        #: Let *closed* (already expanded) entries dominate newcomers that
+        #: are not their own wait-descendants.  Sound for optimal-depth
+        #: search: a closed node's coverage of a dominated newcomer runs
+        #: through its already-enumerated subtree, and the only children
+        #: remaining in its bucket — pure wait-children — are exempted by
+        #: an exact parent-chain test, so that subtree is never severed
+        #: (the circularity that forbids naive closed-node dominance; see
+        #: ``admit``).  Off for all-optima enumeration, which must keep
+        #: equal-depth alternatives.
+        self._closed_dominance = closed_dominance
         #: Optional :class:`~repro.obs.trace.TraceRecorder`; when set,
         #: every drop/kill is attributed (``equivalence`` / ``dominance``
         #: / ``dominance_kill`` / ``incumbent_bound_kill``).
@@ -84,6 +96,7 @@ class StateFilter:
         fused = (
             metrics is None
             and trace is None
+            and not closed_dominance
             and self._kernel.admit_scan is not None
         )
         self._admit_scan = self._kernel.admit_scan if fused else None
@@ -91,16 +104,19 @@ class StateFilter:
         self._table: Dict[Tuple, List[_Entry]] = {}
         self.equivalent_dropped = 0
         self.dominated_dropped = 0
+        self.closed_dominated = 0
         self.killed = 0
         # Pre-bound instruments: the hot admit() path pays one None check.
         if metrics is not None:
             self._m_equivalent = metrics.counter("filter.equivalent_dropped")
             self._m_dominated = metrics.counter("filter.dominated_dropped")
+            self._m_closed = metrics.counter("filter.closed_dominated")
             self._m_killed = metrics.counter("filter.killed")
             self._m_group_size = metrics.histogram("filter.group_size")
         else:
             self._m_equivalent = None
             self._m_dominated = None
+            self._m_closed = None
             self._m_killed = None
             self._m_group_size = None
 
@@ -163,23 +179,46 @@ class StateFilter:
                 if len(survivors) < index:
                     self._table[key] = survivors + bucket[index:]
                 return False
-            # Dominance may only be exercised by *open* nodes (still in
-            # the priority queue) — the paper compares expanded nodes "to
-            # all the previous nodes (in the priority queue)".  A closed
-            # node's coverage of the newcomer runs through its own
-            # descendants, one of which may BE the newcomer (e.g. the
+            # Dominance may by default only be exercised by *open* nodes
+            # (still in the priority queue) — the paper compares expanded
+            # nodes "to all the previous nodes (in the priority queue)".
+            # A closed node's coverage of the newcomer runs through its
+            # own descendants, one of which may BE the newcomer (e.g. the
             # wait-child realizing a pending SWAP); dropping it would
-            # sever the only path that justified the domination.
+            # sever the only path that justified the domination.  With
+            # ``closed_dominance`` an expanded entry also dominates
+            # unless the newcomer is its own wait-descendant: only pure
+            # wait-children stay in the dominator's bucket (started gates
+            # advance ``ptr``, started SWAPs change the effective
+            # mapping), so walking the newcomer's parent chain while it
+            # remains in this bucket decides descendance exactly — and a
+            # non-descendant newcomer is covered outright by the closed
+            # node's already-enumerated subtree, whose wait-spine is
+            # itself descendant-exempt and therefore never severed.
+            existing_closed = existing.node.dropped
             if (
                 self._dominance
-                and not existing.node.dropped
+                and (
+                    not existing_closed
+                    or (
+                        self._closed_dominance
+                        and not self._wait_descendant(node, existing.node)
+                    )
+                )
                 and _dominates(existing, entry)
             ):
-                self.dominated_dropped += 1
-                if self._m_dominated is not None:
-                    self._m_dominated.inc()
-                if self._trace is not None:
-                    self._trace.prune(PRUNE_DOMINANCE, node=node)
+                if existing_closed:
+                    self.closed_dominated += 1
+                    if self._m_closed is not None:
+                        self._m_closed.inc()
+                    if self._trace is not None:
+                        self._trace.prune(PRUNE_CLOSED_DOMINANCE, node=node)
+                else:
+                    self.dominated_dropped += 1
+                    if self._m_dominated is not None:
+                        self._m_dominated.inc()
+                    if self._trace is not None:
+                        self._trace.prune(PRUNE_DOMINANCE, node=node)
                 if len(survivors) < index:
                     self._table[key] = survivors + bucket[index:]
                 return False
@@ -206,6 +245,27 @@ class StateFilter:
         if self._m_group_size is not None:
             self._m_group_size.observe(len(kept))
         return True
+
+    def _wait_descendant(self, node: SearchNode, ancestor: SearchNode) -> bool:
+        """True when ``node`` descends from ``ancestor`` via pure waits.
+
+        Wait-children share their parent's effective-state bucket, so the
+        chain of same-key ancestors is exactly the wait-spine; the walk
+        stops at the first ancestor in a different bucket (a few steps at
+        most).  An in-flight-free ancestor has no wait-children at all,
+        so the walk is skipped outright.
+        """
+        if not ancestor.inflight:
+            return False
+        key = self._kernel.filter_key(node)
+        parent = node.parent
+        while parent is not None:
+            if parent is ancestor:
+                return True
+            if self._kernel.filter_key(parent) != key:
+                return False
+            parent = parent.parent
+        return False
 
     @property
     def num_states(self) -> int:

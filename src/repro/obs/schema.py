@@ -66,6 +66,15 @@ STAT_INCUMBENT_DEPTH = "incumbent_depth"
 STAT_SWAPS_RESTRICTED = "swaps_restricted"
 STAT_SYMMETRY_PRUNED = "symmetry_pruned"
 STAT_MODE2_ROOTS = "mode2_roots"
+# Literature-grade bound counters (optional, optimal mode — see
+# repro.core.bounds for the derivations):
+STAT_PRUNED_BY_ASSIGNMENT = "pruned_by_assignment_lb"
+STAT_PRUNED_BY_LAYER_WEIGHT = "pruned_by_layer_weight"
+STAT_ROOT_RESTRICTED = "root_candidates_restricted"
+STAT_CLOSED_DOMINATED = "closed_dominated"
+# Portfolio-lane counters (portfolio mapper only):
+STAT_LANES_FINISHED = "lanes_finished"
+STAT_WINNER_LANE = "winner_lane"
 # Which kernel backend scored/filtered the search (pure/vector/compiled):
 STAT_KERNEL_BACKEND = "kernel_backend"
 
@@ -76,6 +85,7 @@ MAPPER_SABRE = "sabre"
 MAPPER_ZULEHNER = "zulehner"
 MAPPER_OLSQ_STYLE = "olsq-style"
 MAPPER_TRIVIAL = "trivial"
+MAPPER_PORTFOLIO = "portfolio"
 
 MAPPER_NAMES = (
     MAPPER_TOQM_OPTIMAL,
@@ -84,6 +94,7 @@ MAPPER_NAMES = (
     MAPPER_ZULEHNER,
     MAPPER_OLSQ_STYLE,
     MAPPER_TRIVIAL,
+    MAPPER_PORTFOLIO,
 )
 
 

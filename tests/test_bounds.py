@@ -1,0 +1,279 @@
+"""Admissibility tests for the literature-grade bounds (repro.core.bounds).
+
+Every bound ships with a written admissibility argument; these tests
+cross-check the arguments empirically: on small random problems no bound
+may ever exceed the true optimal depth (computed by the exact search,
+including ``find_all_optimal`` exhaustive enumeration), ablating a bound
+must never change the depth, and the closed-dominance filter extension
+must preserve both the optimum and all-optima enumeration.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.arch import grid, lnn
+from repro.circuit import Circuit, uniform_latency
+from repro.circuit.generators import linear_entangler, qft_skeleton
+from repro.core import OptimalMapper
+from repro.core.bounds import (
+    assignment_lb,
+    layer_weight_lb,
+    root_mapping_allowed,
+    root_restriction_pairs,
+)
+from repro.core.problem import MappingProblem
+from repro.core.state import SearchNode
+
+# ---------------------------------------------------------------------------
+# Strategies and helpers
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def circuits(draw, min_qubits=2, max_qubits=4, max_gates=7):
+    """Small random circuits mixing 1- and 2-qubit gates."""
+    n = draw(st.integers(min_qubits, max_qubits))
+    num_gates = draw(st.integers(1, max_gates))
+    circuit = Circuit(n)
+    for _ in range(num_gates):
+        if n >= 2 and draw(st.booleans()):
+            a = draw(st.integers(0, n - 1))
+            b = draw(st.integers(0, n - 2))
+            if b >= a:
+                b += 1
+            circuit.cx(a, b)
+        else:
+            circuit.h(draw(st.integers(0, n - 1)))
+    return circuit
+
+
+@st.composite
+def latencies(draw):
+    return uniform_latency(draw(st.integers(1, 2)), draw(st.integers(1, 4)))
+
+
+def make_root(problem: MappingProblem, mapping) -> SearchNode:
+    """A real-schedule root node at the given initial mapping."""
+    pos = tuple(mapping)
+    inv = [-1] * problem.num_physical
+    for logical, physical in enumerate(pos):
+        inv[physical] = logical
+    return SearchNode(
+        time=0,
+        pos=pos,
+        inv=tuple(inv),
+        ptr=(0,) * problem.num_logical,
+        started=0,
+        inflight=(),
+        last_swaps=frozenset(),
+        prev_startable=frozenset(),
+        parent=None,
+        actions=(),
+        prefix_layers=-1,
+    )
+
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Admissibility: bounds never exceed the true optimum
+# ---------------------------------------------------------------------------
+
+
+@_PROPERTY_SETTINGS
+@given(circuits(), latencies())
+def test_layer_weight_never_exceeds_mode2_optimum(circuit, latency):
+    """The mapping-independent floor holds even for the best mapping."""
+    arch = lnn(circuit.num_qubits)
+    problem = MappingProblem(circuit, arch, latency)
+    optimum = OptimalMapper(
+        arch, latency, search_initial_mapping=True
+    ).map(circuit).depth
+    assert layer_weight_lb(problem) <= optimum
+
+
+@_PROPERTY_SETTINGS
+@given(circuits(max_qubits=3), latencies(), st.randoms(use_true_random=False))
+def test_assignment_lb_never_exceeds_pinned_optimum(circuit, latency, rng):
+    """The root's work/capacity bound holds for a random pinned mapping."""
+    arch = lnn(circuit.num_qubits)
+    problem = MappingProblem(circuit, arch, latency)
+    mapping = list(range(circuit.num_qubits))
+    rng.shuffle(mapping)
+    optimum = OptimalMapper(arch, latency).map(
+        circuit, initial_mapping=mapping
+    ).depth
+    assert assignment_lb(problem, make_root(problem, mapping)) <= optimum
+
+
+def test_bounds_hold_against_exhaustive_all_optima():
+    """Cross-check both bounds against ``find_all_optimal`` depths."""
+    latency = uniform_latency(1, 3)
+    for circuit, arch in [
+        (qft_skeleton(3), lnn(3)),
+        (linear_entangler(4), lnn(4)),
+        (qft_skeleton(4), grid(2, 2)),
+    ]:
+        problem = MappingProblem(circuit, arch, latency)
+        solutions = OptimalMapper(
+            arch, latency, search_initial_mapping=True
+        ).find_all_optimal(circuit, max_solutions=64)
+        assert solutions
+        depths = {result.depth for result in solutions}
+        assert len(depths) == 1
+        optimum = depths.pop()
+        assert layer_weight_lb(problem) <= optimum
+        for result in solutions:
+            root = make_root(problem, result.initial_mapping)
+            assert assignment_lb(problem, root) <= optimum
+
+
+# ---------------------------------------------------------------------------
+# Root restriction: loss-free, and its predicate is exact
+# ---------------------------------------------------------------------------
+
+
+def test_root_restriction_pairs_semantics():
+    latency = uniform_latency(1, 3)
+    # All frontier gates two-qubit: the restriction applies.
+    qft = MappingProblem(qft_skeleton(3), lnn(3), latency)
+    pairs = root_restriction_pairs(qft)
+    assert pairs is not None and all(len(pair) == 2 for pair in pairs)
+    # A dependency-free 1-qubit gate can open any schedule: no restriction.
+    circuit = Circuit(3)
+    circuit.h(2)
+    circuit.cx(0, 1)
+    assert root_restriction_pairs(
+        MappingProblem(circuit, lnn(3), latency)
+    ) is None
+    # Empty circuit: nothing to restrict.
+    assert root_restriction_pairs(
+        MappingProblem(Circuit(2), lnn(2), latency)
+    ) is None
+
+
+def test_root_mapping_allowed_matches_adjacency():
+    latency = uniform_latency(1, 3)
+    circuit = Circuit(3)
+    circuit.cx(0, 1)
+    problem = MappingProblem(circuit, lnn(3), latency)
+    pairs = root_restriction_pairs(problem)
+    assert pairs == ((0, 1),)
+    assert root_mapping_allowed(problem, (0, 1, 2), pairs)
+    assert not root_mapping_allowed(problem, (0, 2, 1), pairs)
+
+
+@_PROPERTY_SETTINGS
+@given(circuits(), latencies())
+def test_every_bound_is_individually_ablatable(circuit, latency):
+    """Toggling any single lever never changes the mode-2 optimum."""
+    arch = lnn(circuit.num_qubits)
+    baseline = OptimalMapper(
+        arch, latency, search_initial_mapping=True
+    ).map(circuit).depth
+    for lever in (
+        "assignment_bound",
+        "layer_bound",
+        "root_restriction",
+        "closed_dominance",
+    ):
+        result = OptimalMapper(
+            arch, latency, search_initial_mapping=True, **{lever: True}
+        ).map(circuit)
+        assert result.depth == baseline, lever
+
+
+# ---------------------------------------------------------------------------
+# Closed dominance: parity and find_all safety
+# ---------------------------------------------------------------------------
+
+
+@_PROPERTY_SETTINGS
+@given(circuits(), latencies(), st.booleans())
+def test_closed_dominance_depth_parity(circuit, latency, mode2):
+    arch = lnn(circuit.num_qubits)
+    kwargs = dict(search_initial_mapping=mode2)
+    baseline = OptimalMapper(arch, latency, **kwargs).map(circuit)
+    all_on = OptimalMapper(
+        arch,
+        latency,
+        closed_dominance=True,
+        assignment_bound=True,
+        layer_bound=True,
+        root_restriction=True,
+        **kwargs,
+    ).map(circuit)
+    assert all_on.depth == baseline.depth
+    assert all_on.optimal
+
+
+def test_closed_dominance_forced_off_for_find_all():
+    """All-optima enumeration must keep equal-depth alternatives."""
+    latency = uniform_latency(1, 3)
+    circuit = qft_skeleton(3)
+    arch = lnn(3)
+    baseline = OptimalMapper(
+        arch, latency, search_initial_mapping=True
+    ).find_all_optimal(circuit, max_solutions=256)
+    extended = OptimalMapper(
+        arch, latency, search_initial_mapping=True, closed_dominance=True
+    ).find_all_optimal(circuit, max_solutions=256)
+    assert len(extended) == len(baseline)
+    assert {r.depth for r in extended} == {r.depth for r in baseline}
+
+
+def test_counters_surface_in_stats():
+    """Each lever reports its own counter; ablated levers report zero."""
+    latency = uniform_latency(1, 3)
+    circuit = qft_skeleton(5)
+    arch = lnn(5)
+    on = OptimalMapper(
+        arch,
+        latency,
+        search_initial_mapping=True,
+        closed_dominance=True,
+        assignment_bound=True,
+        layer_bound=True,
+        root_restriction=True,
+    ).map(circuit).stats
+    for key in (
+        "closed_dominated",
+        "pruned_by_assignment_lb",
+        "pruned_by_layer_weight",
+        "root_candidates_restricted",
+    ):
+        assert on.get(key, 0) >= 0
+    assert on["closed_dominated"] > 0
+    assert on["root_candidates_restricted"] > 0
+    off = OptimalMapper(
+        arch, latency, search_initial_mapping=True
+    ).map(circuit).stats
+    assert off.get("closed_dominated", 0) == 0
+    assert off.get("root_candidates_restricted", 0) == 0
+
+
+def test_closed_dominance_reduces_expansions_on_acceptance_instance():
+    """The headline perf claim: >=25% fewer exact-lane expansions."""
+    latency = uniform_latency(1, 3)
+    circuit = qft_skeleton(5)
+    arch = lnn(5)
+    baseline = OptimalMapper(
+        arch, latency, search_initial_mapping=True
+    ).map(circuit)
+    tightened = OptimalMapper(
+        arch,
+        latency,
+        search_initial_mapping=True,
+        closed_dominance=True,
+        assignment_bound=True,
+        layer_bound=True,
+        root_restriction=True,
+    ).map(circuit)
+    assert tightened.depth == baseline.depth == 22
+    saved = baseline.stats["nodes_expanded"] - tightened.stats["nodes_expanded"]
+    assert saved >= 0.25 * baseline.stats["nodes_expanded"]
