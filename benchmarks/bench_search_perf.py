@@ -311,10 +311,27 @@ def _current_commit() -> str:
         return "unknown"
 
 
-def _trajectory_entry(report: Dict) -> Dict:
-    """Compact per-run record appended to the ``trajectory`` list."""
+def _trajectory_entry(
+    report: Dict,
+    run_id: Optional[str] = None,
+    ledger_path: Optional[str] = None,
+) -> Dict:
+    """Compact per-run record appended to the ``trajectory`` list.
+
+    ``run_id`` / ``git_sha`` / ``ledger_path`` make each bench-trend row
+    traceable to full artifacts: the short ``commit`` stays for display,
+    the full SHA pins the exact tree, and the run's ledger entry (host
+    info, config fingerprint, artifacts) lives under ``run_id`` in
+    ``<ledger_path>/index.jsonl``.  ``ledger_path`` is ``None`` when no
+    ledger was configured.
+    """
+    from repro.obs.ledger import git_sha
+
     return {
         "commit": _current_commit(),
+        "git_sha": git_sha(),
+        "run_id": run_id,
+        "ledger_path": ledger_path,
         "date": datetime.datetime.now(datetime.timezone.utc).strftime(
             "%Y-%m-%dT%H:%M:%SZ"
         ),
@@ -380,7 +397,30 @@ def main(argv=None) -> int:
              "the whole run; writes flight.jsonl + profile.folded under "
              "DIR and a summary into the report",
     )
+    parser.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="record this bench run in the run ledger at DIR (also "
+             "honors $REPRO_LEDGER_DIR); every trajectory entry carries "
+             "the run_id either way",
+    )
     args = parser.parse_args(argv)
+
+    from repro.obs.ledger import LEDGER_ENV, RunLedger, new_run_id
+
+    run_id = new_run_id()
+    ledger_run = None
+    ledger_root = args.ledger_dir or os.environ.get(LEDGER_ENV)
+    if ledger_root:
+        ledger = RunLedger(ledger_root)
+        ledger_run = ledger.open_run(
+            "bench",
+            {
+                "mode": "tiny" if args.tiny else "full",
+                "pruning": "off" if args.no_prune else "on",
+                "kernel": args.kernel,
+            },
+            run_id=run_id,
+        )
 
     recorder = None
     if args.flight_recorder:
@@ -431,13 +471,29 @@ def main(argv=None) -> int:
         report["speedup_vs_baseline"] = {
             MICRO_SUITE: current / BASELINE["qft8_lnn_exact_nodes_per_sec"]
         }
-    report["trajectory"] = (
-        _load_trajectory(args.out) + [_trajectory_entry(report)]
-    )
+    report["trajectory"] = _load_trajectory(args.out) + [
+        _trajectory_entry(
+            report,
+            run_id=run_id,
+            ledger_path=ledger_run.ledger.root if ledger_run else None,
+        )
+    ]
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
+
+    if ledger_run is not None:
+        ledger_run.add_artifact("bench_json", args.out)
+        if args.flight_recorder:
+            ledger_run.add_artifact("flight_recorder", args.flight_recorder)
+        ledger_run.finish("ok", stats={
+            name: {
+                "nodes_expanded": suite.get("nodes_expanded"),
+                "nodes_per_sec": suite.get("nodes_per_sec"),
+            }
+            for name, suite in suites.items()
+        })
 
     print(f"{'kernel backend':22s} {backend:>18s}  "
           f"(python {report['python_version']}, "

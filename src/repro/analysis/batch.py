@@ -246,7 +246,7 @@ def _worker_telemetry(spec: Optional[TelemetrySpec]) -> Optional[Telemetry]:
         telemetry = spec.build(os.getpid())
         _WORKER_TELEMETRY[spec.directory] = telemetry
         if telemetry.sink is not None:
-            telemetry.sink.emit({
+            meta = {
                 "type": "worker_meta",
                 "worker": os.getpid(),
                 "pid": os.getpid(),
@@ -254,7 +254,11 @@ def _worker_telemetry(spec: Optional[TelemetrySpec]) -> Optional[Telemetry]:
                 "sample_resources": spec.sample_resources,
                 "resource_interval_s": spec.resource_interval,
                 "profile": spec.profile,
-            })
+            }
+            run_id = getattr(spec, "run_id", None)
+            if run_id is not None:
+                meta["run_id"] = run_id
+            telemetry.sink.emit(meta)
     return telemetry
 
 
@@ -287,6 +291,8 @@ def _emit_worker_task(
         "peak_rss_bytes": record.peak_rss_bytes,
         "ts": time.time(),
     }
+    if telemetry.run_id is not None:
+        payload["run_id"] = telemetry.run_id
     if record.error_type is not None:
         payload["error_type"] = record.error_type
     if warm_pool is not None:
@@ -688,6 +694,8 @@ def map_many(
             f"unknown scheduler {scheduler!r}: expected 'stealing' or 'static'"
         )
     workers = _default_workers() if max_workers is None else max_workers
+    _write_fleet_meta(telemetry_spec, total_tasks=len(tasks),
+                      workers=workers, scheduler=scheduler)
     if workers <= 1:
         telemetry = _worker_telemetry(telemetry_spec)
         warm_pool = WarmCachePool() if warm_cache else None
@@ -754,6 +762,32 @@ def _write_rollup(telemetry_spec: Optional[TelemetrySpec]) -> None:
     from ..obs.export import write_fleet_rollup
 
     write_fleet_rollup(telemetry_spec.directory)
+
+
+def _write_fleet_meta(
+    telemetry_spec: Optional[TelemetrySpec],
+    total_tasks: int,
+    workers: int,
+    scheduler: str,
+) -> None:
+    """Coordinator-side ``fleet_meta`` record written *before* dispatch.
+
+    Live consumers (``repro top``) need the planned task total to render
+    queue depth while the fleet is still running; shards alone only show
+    completions.  Also carries the run_id so the telemetry directory is
+    self-describing even before the rollup exists.  No-op without a spec.
+    """
+    if telemetry_spec is None:
+        return
+    from ..obs.export import write_fleet_meta
+
+    write_fleet_meta(
+        telemetry_spec.directory,
+        total_tasks=total_tasks,
+        workers=workers,
+        scheduler=scheduler,
+        run_id=getattr(telemetry_spec, "run_id", None),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -860,7 +894,7 @@ def _emit_root_task(
     """Fan-out twin of :func:`_emit_worker_task`: one record per root."""
     if telemetry is None or telemetry.sink is None:
         return
-    telemetry.sink.emit({
+    payload = {
         "type": "worker_task",
         "worker": os.getpid(),
         "label": f"root-{index}",
@@ -874,7 +908,10 @@ def _emit_root_task(
         "depth": depth,
         "peak_rss_bytes": peak_rss_bytes(),
         "ts": time.time(),
-    })
+    }
+    if telemetry.run_id is not None:
+        payload["run_id"] = telemetry.run_id
+    telemetry.sink.emit(payload)
 
 
 def _run_mode2_root(payload) -> Tuple[int, bool, Optional[MappingResult],
@@ -999,6 +1036,8 @@ def map_mode2_fanout(
                 trace.prune(PRUNE_ROOT_RESTRICTION, count=root_restricted)
     workers = _default_workers() if max_workers is None else max_workers
     workers = max(1, min(workers, len(mappings)))
+    _write_fleet_meta(fleet_spec, total_tasks=len(mappings),
+                      workers=workers, scheduler="fanout")
 
     shared = SharedBound()
     incumbent: Optional[MappingResult] = None

@@ -185,6 +185,7 @@ def run_corpus(
     telemetry_dir: Optional[str] = None,
     max_nodes: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    run_id: Optional[str] = None,
 ) -> Dict:
     """Map the whole stream once; return a throughput summary.
 
@@ -199,7 +200,9 @@ def run_corpus(
     if telemetry_dir is not None:
         from ..obs.telemetry import TelemetrySpec
 
-        telemetry_spec = TelemetrySpec(directory=telemetry_dir)
+        telemetry_spec = TelemetrySpec(
+            directory=telemetry_dir, run_id=run_id
+        )
     tasks = corpus_tasks(stream, mapper_factory)
     started = time.perf_counter()
     records = map_many(
@@ -332,6 +335,8 @@ def append_corpus_trajectory(
     suites: Dict[str, Dict],
     *,
     kernel_backend: Optional[str] = None,
+    run_id: Optional[str] = None,
+    ledger_path: Optional[str] = None,
 ) -> Dict:
     """Append one trajectory entry carrying ``suites`` to ``json_path``.
 
@@ -341,9 +346,17 @@ def append_corpus_trajectory(
     suites exactly like search suites.  The existing report's other
     top-level fields (schema, baseline) are preserved; a missing file is
     created fresh.
+
+    ``run_id`` / ``ledger_path`` make the row traceable: the full git
+    SHA plus the ledger entry (config fingerprint, artifacts, host info)
+    behind this aggregate lives at ``<ledger_path>/index.jsonl`` under
+    ``run_id``.  Both are recorded as ``None`` when no ledger was
+    configured, keeping the entry shape stable.
     """
     import os
     import platform
+
+    from ..obs.ledger import git_sha
 
     if kernel_backend is None:
         from ..core.kernels import resolve_backend
@@ -362,6 +375,9 @@ def append_corpus_trajectory(
         trajectory = []
     entry = {
         "commit": _current_commit(),
+        "git_sha": git_sha(),
+        "run_id": run_id,
+        "ledger_path": ledger_path,
         "date": datetime.datetime.now(datetime.timezone.utc).strftime(
             "%Y-%m-%dT%H:%M:%SZ"
         ),

@@ -474,6 +474,11 @@ class PortfolioMapper:
         }
         if lane_errors:
             extra["lane_errors"] = lane_errors
+        run_id = resolve(self.telemetry).run_id
+        if run_id is not None:
+            # Correlation ID from the run ledger: the final stats join
+            # back to the ledger entry even when copied out of context.
+            extra["run_id"] = run_id
         return base_stats(
             self.mapper_name,
             seconds=time.perf_counter() - start,

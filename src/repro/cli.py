@@ -18,6 +18,11 @@ Commands:
 * ``bench-trend`` — tabulate the recorded search-perf trajectory
   (``benchmarks/results/BENCH_search.json``); ``--check`` turns it
   into a CI perf-regression gate;
+* ``runs`` — query the persistent run ledger (``--ledger-dir`` /
+  ``$REPRO_LEDGER_DIR``): ``list`` / ``show`` / counter-by-counter
+  ``diff`` / ledger-wide ``regressions`` scan / ``gc --keep N``;
+* ``top`` — live fleet monitor over a ``--telemetry-dir``: per-worker
+  throughput, queue depth, warm-cache hit rate, incumbent timeline;
 * ``archs`` — list the built-in architectures.
 
 Examples::
@@ -171,7 +176,43 @@ def _build_mapper(name: str, coupling, latency: LatencyModel, args,
     raise KeyError(name)
 
 
-def _build_telemetry(args) -> Optional[Telemetry]:
+def _open_ledger_run(args, kind: str, config: dict):
+    """Open a run-ledger entry when a ledger is configured; else None.
+
+    The ledger activates only when ``--ledger-dir`` is given or
+    ``$REPRO_LEDGER_DIR`` is set — never by default, so ordinary
+    invocations (and the test suite) write nothing outside the paths
+    they were asked to.  A ledger that cannot be opened degrades to a
+    stderr warning rather than failing the mapping run itself.
+    """
+    import os
+
+    from .obs.ledger import LEDGER_ENV, RunLedger
+
+    root = getattr(args, "ledger_dir", None) or os.environ.get(LEDGER_ENV)
+    if not root:
+        return None
+    try:
+        return RunLedger(root).open_run(kind, config)
+    except OSError as exc:
+        print(f"warning: run ledger disabled: {exc}", file=sys.stderr)
+        return None
+
+
+def _finish_ledger_run(run, status: str = "ok", stats=None, error=None,
+                       extra=None) -> None:
+    """Record the run's index row and tell the user where (stderr, so
+    stdout stays exactly the mapping report scripts already parse)."""
+    if run is None:
+        return
+    run.finish(status, stats=stats, error=error, extra=extra)
+    print(
+        f"recorded run {run.run_id} in ledger {run.ledger.root}",
+        file=sys.stderr,
+    )
+
+
+def _build_telemetry(args, run_id: Optional[str] = None) -> Optional[Telemetry]:
     """Telemetry context for ``map``; None when no flag asks for one.
 
     Span/metrics/progress flags instrument the search itself
@@ -226,6 +267,7 @@ def _build_telemetry(args) -> Optional[Telemetry]:
         profile_interval=getattr(args, "profile_interval", 0.005),
         profile_collapsed=getattr(args, "profile_out", None),
         hot_path=hot_path,
+        run_id=run_id,
     )
     if args.progress:
         telemetry.progress.subscribe(
@@ -269,19 +311,81 @@ def _print_stats(stats: dict) -> None:
     print(f"stats    : {cells}")
 
 
+def _map_run_config(args, circuit, coupling, latency) -> dict:
+    """The reproducible configuration of one ``map`` invocation.
+
+    Circuit and (coupling, latency) structure are captured as content
+    digests — the same fingerprints the warm cache keys on — so two
+    runs group together exactly when they solved the same problem with
+    the same mapper and flags, regardless of file paths or spec
+    spelling (``qft:5`` vs an equivalent QASM file).
+    """
+    from .core.warmcache import arch_fingerprint, circuit_fingerprint
+
+    config = {
+        "command": "map",
+        "circuit": args.circuit,
+        "circuit_sha": circuit_fingerprint(circuit)[:16],
+        "arch": args.arch,
+        "arch_sha": arch_fingerprint(coupling, latency)[:16],
+        "latency": args.latency,
+        "mapper": args.mapper,
+        "kernel": getattr(args, "kernel", None),
+        "search_initial": bool(getattr(args, "search_initial", False)),
+        "seed": getattr(args, "seed", 0),
+        "budget": args.budget,
+        "deadline": getattr(args, "deadline", None),
+        "max_nodes": getattr(args, "max_nodes", None),
+        "mode2_workers": getattr(args, "mode2_workers", None),
+        "prune_swaps": not getattr(args, "no_prune_swaps", False),
+        "seed_incumbent": not getattr(args, "no_seed_incumbent", False),
+        "symmetry_reduction": not getattr(
+            args, "no_symmetry_reduction", False
+        ),
+    }
+    for keyword, attr in _BOUND_FLAGS.items():
+        config[keyword] = getattr(args, attr, None)
+    if args.mapper == "portfolio":
+        config["portfolio_lanes"] = getattr(args, "portfolio_lanes", None)
+    return config
+
+
+def _register_map_artifacts(args, run) -> None:
+    """Point the run's index row at every output file the flags named."""
+    if run is None:
+        return
+    for name, attr in (
+        ("metrics", "metrics_out"),
+        ("search_trace", "search_trace"),
+        ("qasm", "qasm_out"),
+        ("profile", "profile_out"),
+        ("telemetry_dir", "telemetry_dir"),
+    ):
+        path = getattr(args, attr, None)
+        if path:
+            run.add_artifact(name, path)
+
+
 def _cmd_map(args) -> int:
     circuit = _load_circuit(args.circuit)
     coupling = by_name(args.arch)
     latency = _LATENCIES[args.latency]
-    telemetry = _build_telemetry(args)
+    run = _open_ledger_run(
+        args, "map", _map_run_config(args, circuit, coupling, latency)
+    )
+    run_id = run.run_id if run is not None else None
+    telemetry = _build_telemetry(args, run_id=run_id)
     mapper = _build_mapper(args.mapper, coupling, latency, args, telemetry)
     if getattr(args, "telemetry_dir", None):
         # Fleet telemetry for the mode-2 fan-out workers: each worker
         # process writes its own shard under this directory and the
-        # coordinator merges them (see repro.obs.export).
+        # coordinator merges them (see repro.obs.export).  The run_id
+        # rides along as the correlation ID stamped into every shard.
         from .obs.telemetry import TelemetrySpec
 
-        mapper.telemetry_spec = TelemetrySpec(directory=args.telemetry_dir)
+        mapper.telemetry_spec = TelemetrySpec(
+            directory=args.telemetry_dir, run_id=run_id
+        )
     try:
         result = mapper.map(circuit)
     except SearchBudgetExceeded as exc:
@@ -291,6 +395,10 @@ def _cmd_map(args) -> int:
         if telemetry is not None and args.trace:
             print(telemetry.tracer.render_tree())
         _finish_telemetry(args, telemetry)
+        _register_map_artifacts(args, run)
+        _finish_ledger_run(
+            run, "budget", stats=exc.partial_stats, error=str(exc)
+        )
         return 2
     validate_result(result)
     print(result.describe(max_ops=args.max_ops))
@@ -309,6 +417,17 @@ def _cmd_map(args) -> int:
             handle.write(to_qasm(result.to_physical_circuit()))
         print(f"\nwrote transformed circuit to {args.qasm_out}")
     _finish_telemetry(args, telemetry)
+    _register_map_artifacts(args, run)
+    _finish_ledger_run(
+        run,
+        "ok",
+        stats=result.stats,
+        extra={
+            "depth": result.depth,
+            "swaps": result.num_inserted_swaps,
+            "optimal": result.optimal,
+        },
+    )
     return 0
 
 
@@ -410,11 +529,43 @@ def _cmd_map_batch(args) -> int:
             f"in {args.json_out}; running the remaining {len(tasks)}"
         )
 
+    import hashlib
+
+    labels = [os.path.splitext(os.path.basename(p))[0] for p in paths]
+    run = _open_ledger_run(args, "map-batch", {
+        "command": "map-batch",
+        "dir": os.path.abspath(args.dir),
+        "glob": args.glob,
+        "circuits": len(paths),
+        "labels_sha": hashlib.sha256(
+            "|".join(labels).encode()
+        ).hexdigest()[:16],
+        "arch": args.arch,
+        "latency": args.latency,
+        "mapper": args.mapper,
+        "kernel": getattr(args, "kernel", None),
+        "search_initial": bool(args.search_initial),
+        "seed": args.seed,
+        "workers": args.workers,
+        "scheduler": args.scheduler,
+        "warm_cache": not args.no_warm_cache,
+        "max_nodes": args.max_nodes,
+        "budget": args.budget,
+    })
+    if run is not None and not args.telemetry_dir:
+        # A ledgered batch always gets fleet telemetry: default the
+        # shard directory into the run's own artifact directory so the
+        # run_id lands in every worker shard and the fleet.json rollup.
+        args.telemetry_dir = run.artifact_path("fleet")
+
     telemetry_spec = None
     if args.telemetry_dir:
         from .obs.telemetry import TelemetrySpec
 
-        telemetry_spec = TelemetrySpec(directory=args.telemetry_dir)
+        telemetry_spec = TelemetrySpec(
+            directory=args.telemetry_dir,
+            run_id=run.run_id if run is not None else None,
+        )
 
     records = map_many(
         tasks,
@@ -501,7 +652,14 @@ def _cmd_map_batch(args) -> int:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote batch report to {args.json_out}")
-    return 0 if all(rec.ok for rec in records) else 2
+    if run is not None:
+        if args.telemetry_dir:
+            run.add_artifact("telemetry_dir", args.telemetry_dir)
+        if args.json_out:
+            run.add_artifact("batch_report", args.json_out)
+    ok = all(rec.ok for rec in records)
+    _finish_ledger_run(run, "ok" if ok else "partial", stats=totals)
+    return 0 if ok else 2
 
 
 def _cmd_corpus(args) -> int:
@@ -541,6 +699,26 @@ def _cmd_corpus(args) -> int:
     )
 
     warm = not args.no_warm_cache
+    from .core.warmcache import arch_fingerprint
+
+    run = _open_ledger_run(args, "corpus", {
+        "command": "corpus",
+        "size": args.size,
+        "repeat_factor": args.repeat_factor,
+        "seed": args.seed,
+        "arch": args.arch,
+        "arch_sha": arch_fingerprint(coupling, latency)[:16],
+        "latency": args.latency,
+        "mapper": args.mapper,
+        "kernel": getattr(args, "kernel", None),
+        "workers": args.workers,
+        "scheduler": args.scheduler,
+        "warm_cache": warm,
+        "max_nodes": args.max_nodes,
+        "budget": args.budget,
+    })
+    if run is not None and not args.telemetry_dir:
+        args.telemetry_dir = run.artifact_path("fleet")
     main_label = (
         f"{args.scheduler}+{'warm' if warm else 'cold'}"
     )
@@ -553,6 +731,7 @@ def _cmd_corpus(args) -> int:
         telemetry_dir=args.telemetry_dir,
         max_nodes=args.max_nodes,
         max_seconds=args.budget,
+        run_id=run.run_id if run is not None else None,
     )
 
     def _report(label: str, run: dict) -> None:
@@ -627,11 +806,18 @@ def _cmd_corpus(args) -> int:
             )
 
     if args.record:
-        entry = append_corpus_trajectory(args.bench_json, suites)
+        entry = append_corpus_trajectory(
+            args.bench_json,
+            suites,
+            run_id=run.run_id if run is not None else None,
+            ledger_path=run.ledger.root if run is not None else None,
+        )
         print(
             f"recorded corpus_fleet trajectory entry "
             f"(commit {entry['commit']}) in {args.bench_json}"
         )
+        if run is not None:
+            run.add_artifact("bench_json", args.bench_json)
     if args.json_out:
         payload = {"corpus": summary}
         if baseline is not None:
@@ -639,6 +825,25 @@ def _cmd_corpus(args) -> int:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote corpus report to {args.json_out}")
+        if run is not None:
+            run.add_artifact("corpus_report", args.json_out)
+    if run is not None:
+        if args.telemetry_dir:
+            run.add_artifact("telemetry_dir", args.telemetry_dir)
+        # The diffable slice only: numeric throughput facts, no record
+        # list, no strings (scheduler/warm live in the config already).
+        stats = {
+            key: value for key, value in summary.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if identity_failed:
+            status = "error"
+        else:
+            status = "ok" if summary["failed"] == 0 else "partial"
+        _finish_ledger_run(
+            run, status, stats=stats,
+            error="identity mismatch" if identity_failed else None,
+        )
     if identity_failed:
         return 1
     return 0 if summary["failed"] == 0 else 2
@@ -825,12 +1030,122 @@ def _cmd_bench_trend(args) -> int:
     return 0
 
 
+def _cmd_runs(args) -> int:
+    """Query the persistent run ledger: list/show/diff/regressions/gc."""
+    import json
+
+    from .analysis import runs as runs_analysis
+    from .obs.ledger import RunLedger
+
+    ledger = RunLedger(args.ledger_dir)
+    cmd = args.runs_command
+    if cmd == "list":
+        rows = runs_analysis.list_runs(
+            ledger.runs(), kind=args.kind, limit=args.limit
+        )
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(runs_analysis.render_runs_table(rows))
+        return 0
+    if cmd == "show":
+        try:
+            row = ledger.get(args.run_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(row, indent=2))
+        else:
+            print(runs_analysis.render_run(row))
+        return 0
+    if cmd == "diff":
+        try:
+            row_a = ledger.get(args.run_a)
+            row_b = ledger.get(args.run_b)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        diff, rendered = runs_analysis.diff_pair(
+            ledger.runs(), row_a, row_b
+        )
+        if args.json:
+            print(json.dumps(diff, indent=2))
+        else:
+            print(rendered)
+        if args.fail_on_delta and diff["counter_deltas"]:
+            return 1
+        return 0
+    if cmd == "regressions":
+        rows = ledger.runs()
+        findings = runs_analysis.find_regressions(
+            rows,
+            max_node_ratio=args.max_node_ratio,
+            min_rate_ratio=args.min_rate_ratio,
+        )
+        scanned = sum(1 for r in rows if r.get("status") == "ok")
+        if args.json:
+            print(json.dumps(findings, indent=2))
+        else:
+            print(runs_analysis.render_regressions(
+                findings, scanned,
+                groups=runs_analysis.fingerprint_groups(rows),
+            ))
+        return 1 if findings else 0
+    if cmd == "gc":
+        try:
+            pruned = ledger.gc(args.keep)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        noun = "directory" if len(pruned) == 1 else "directories"
+        print(
+            f"pruned {len(pruned)} run artifact {noun} from "
+            f"{ledger.root} (index rows kept)"
+        )
+        for name in pruned:
+            print(f"  {name}")
+        return 0
+    print(f"error: unknown runs command {cmd!r}", file=sys.stderr)
+    return 1
+
+
+def _cmd_top(args) -> int:
+    """Live fleet monitor over a telemetry shard directory."""
+    import os
+
+    from .obs.monitor import FleetMonitor
+
+    if not os.path.isdir(args.directory):
+        print(
+            f"error: {args.directory} is not a directory — point repro top "
+            "at the --telemetry-dir of a running map-batch/corpus",
+            file=sys.stderr,
+        )
+        return 1
+    FleetMonitor(args.directory).watch(
+        interval=args.interval,
+        iterations=1 if args.once else None,
+        duration=args.duration,
+        clear=args.clear,
+    )
+    return 0
+
+
 def _cmd_archs(_args) -> int:
     for name in architecture_names():
         arch = by_name(name)
         print(f"{name:16s} {arch.num_qubits:>3} qubits, {len(arch.edges):>3} edges")
     print("parametric     : lnn-N, gridRxC, full-N")
     return 0
+
+
+def _add_ledger_flag(cmd) -> None:
+    cmd.add_argument(
+        "--ledger-dir", default=None, metavar="DIR",
+        help="record this run in the persistent run ledger under DIR "
+             "(default: $REPRO_LEDGER_DIR when set; no ledger otherwise)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -989,6 +1304,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="mode-2 fan-out: per-worker telemetry shards + fleet.json "
              "rollup under DIR",
     )
+    _add_ledger_flag(map_cmd)
     map_cmd.set_defaults(func=_cmd_map)
 
     batch_cmd = sub.add_parser(
@@ -1062,8 +1378,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument(
         "--telemetry-dir", default=None, metavar="DIR",
         help="fleet telemetry: per-worker JSONL shards (resource samples "
-             "+ per-task records) and a fleet.json rollup under DIR",
+             "+ per-task records) and a fleet.json rollup under DIR "
+             "(default with --ledger-dir: the run's fleet/ artifact dir)",
     )
+    _add_ledger_flag(batch_cmd)
     batch_cmd.set_defaults(func=_cmd_map_batch)
 
     corpus_cmd = sub.add_parser(
@@ -1152,6 +1470,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     corpus_cmd.add_argument("--json-out", default=None,
                             help="write the full corpus report as JSON")
+    _add_ledger_flag(corpus_cmd)
     corpus_cmd.set_defaults(func=_cmd_corpus, search_initial=False)
 
     obs_cmd = sub.add_parser(
@@ -1222,6 +1541,110 @@ def build_parser() -> argparse.ArgumentParser:
              "below this fraction of the best prior entry",
     )
     trend_cmd.set_defaults(func=_cmd_bench_trend)
+
+    runs_cmd = sub.add_parser(
+        "runs", help="query the persistent run ledger",
+    )
+    runs_sub = runs_cmd.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_common(cmd):
+        _add_ledger_flag(cmd)
+        cmd.add_argument(
+            "--json", action="store_true",
+            help="machine-readable JSON instead of the table",
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    _runs_common(runs_list)
+    runs_list.add_argument(
+        "--kind", default=None,
+        choices=["map", "map-batch", "corpus", "bench"],
+        help="only runs of this kind",
+    )
+    runs_list.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the newest N runs",
+    )
+    runs_list.set_defaults(func=_cmd_runs)
+
+    runs_show = runs_sub.add_parser(
+        "show", help="one run in full: config, stats, artifacts",
+    )
+    _runs_common(runs_show)
+    runs_show.add_argument("run_id", help="run id (unique prefix accepted)")
+    runs_show.set_defaults(func=_cmd_runs)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="two runs counter-by-counter with percent deltas",
+    )
+    _runs_common(runs_diff)
+    runs_diff.add_argument("run_a", help="baseline run id (prefix ok)")
+    runs_diff.add_argument("run_b", help="comparison run id (prefix ok)")
+    runs_diff.add_argument(
+        "--fail-on-delta", action="store_true",
+        help="exit 1 when any deterministic counter differs "
+             "(timings never count)",
+    )
+    runs_diff.set_defaults(func=_cmd_runs)
+
+    runs_reg = runs_sub.add_parser(
+        "regressions",
+        help="scan same-fingerprint runs for node-count or nodes/sec "
+             "drift; exit 1 when any is found",
+    )
+    _runs_common(runs_reg)
+    runs_reg.add_argument(
+        "--max-node-ratio", type=float, default=1.05,
+        help="flag runs expanding more than this multiple of the best "
+             "same-fingerprint predecessor's nodes",
+    )
+    runs_reg.add_argument(
+        "--min-rate-ratio", type=float, default=0.67,
+        help="flag runs below this fraction of the best predecessor's "
+             "nodes/sec (runs under 0.1s never gate)",
+    )
+    runs_reg.set_defaults(func=_cmd_runs)
+
+    runs_gc = runs_sub.add_parser(
+        "gc",
+        help="remove artifact directories of all but the newest N runs "
+             "(index rows are kept — history stays diffable)",
+    )
+    _add_ledger_flag(runs_gc)
+    runs_gc.add_argument(
+        "--keep", type=int, required=True, metavar="N",
+        help="number of newest runs whose artifacts survive",
+    )
+    runs_gc.set_defaults(func=_cmd_runs)
+
+    top_cmd = sub.add_parser(
+        "top",
+        help="live fleet monitor: per-worker throughput, queue depth, "
+             "warm-cache hit rate, incumbent timeline",
+    )
+    top_cmd.add_argument(
+        "directory",
+        help="the --telemetry-dir of a running map-batch / corpus / "
+             "mode-2 fan-out",
+    )
+    top_cmd.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="seconds between refreshes",
+    )
+    top_cmd.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (scripting/CI)",
+    )
+    top_cmd.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="stop watching after S seconds even if the fleet is "
+             "still running",
+    )
+    top_cmd.add_argument(
+        "--clear", action=argparse.BooleanOptionalAction, default=None,
+        help="ANSI in-place redraw (default: only when stdout is a TTY)",
+    )
+    top_cmd.set_defaults(func=_cmd_top)
 
     arch_cmd = sub.add_parser("archs", help="list architectures")
     arch_cmd.set_defaults(func=_cmd_archs)

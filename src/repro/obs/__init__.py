@@ -18,7 +18,13 @@ Three cooperating pieces, bundled by :class:`Telemetry`:
   path (compose with ``hot_path=False`` for near-zero overhead);
 * :class:`TelemetrySpec` — picklable per-worker telemetry recipe for
   process-pool fleets; shards merge into a rollup via
-  :mod:`repro.obs.export`.
+  :mod:`repro.obs.export`;
+* :class:`RunLedger` — the persistent run ledger
+  (:mod:`repro.obs.ledger`): append-only index + per-run artifact
+  directories, with the ``run_id`` threaded through telemetry as a
+  correlation ID;
+* :class:`FleetMonitor` — the ``repro top`` live view over an active
+  fleet's telemetry directory (:mod:`repro.obs.monitor`).
 
 :mod:`repro.obs.schema` defines the normalized ``MappingResult.stats``
 key set every mapper emits.  The default path (``telemetry=None``) is
@@ -43,6 +49,15 @@ from .runtime import (
     peak_rss_bytes,
     read_rss_bytes,
 )
+from .ledger import (
+    LedgerRun,
+    RunLedger,
+    config_fingerprint,
+    default_ledger_dir,
+    git_sha,
+    new_run_id,
+)
+from .monitor import FleetMonitor
 from .sinks import FanoutSink, JsonlSink, MemorySink, Sink, read_jsonl
 from .telemetry import NULL_TELEMETRY, Telemetry, TelemetrySpec, resolve
 from .trace import (
@@ -76,6 +91,13 @@ __all__ = [
     "TraceRecorder",
     "TraceSpec",
     "TelemetrySpec",
+    "RunLedger",
+    "LedgerRun",
+    "FleetMonitor",
+    "new_run_id",
+    "git_sha",
+    "config_fingerprint",
+    "default_ledger_dir",
     "ResourceSampler",
     "SamplingProfiler",
     "GcPauseTracker",

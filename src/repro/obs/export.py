@@ -32,6 +32,7 @@ import glob
 import json
 import os
 import re
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .sinks import read_jsonl
@@ -39,12 +40,61 @@ from .sinks import read_jsonl
 #: Rollup filename written next to the worker shards.
 FLEET_ROLLUP_NAME = "fleet.json"
 
+#: Coordinator-side metadata stream written before worker dispatch.
+FLEET_META_NAME = "coordinator.jsonl"
+
 _SHARD_GLOB = "worker-*.jsonl"
 
 
 def list_shards(directory: str) -> List[str]:
     """Worker shard paths under ``directory``, sorted for determinism."""
     return sorted(glob.glob(os.path.join(directory, _SHARD_GLOB)))
+
+
+def write_fleet_meta(
+    directory: str,
+    total_tasks: int,
+    workers: int,
+    scheduler: str,
+    run_id: Optional[str] = None,
+) -> Dict:
+    """Append one ``fleet_meta`` record to the coordinator stream.
+
+    Written *before* dispatch so a live consumer (``repro top``) knows
+    the planned task total — queue depth is ``total_tasks`` minus
+    completed ``worker_task`` records, which shards alone cannot tell.
+    Appended (not truncated) so re-runs into one directory keep history;
+    readers take the last record.
+    """
+    record = {
+        "type": "fleet_meta",
+        "total_tasks": int(total_tasks),
+        "workers": int(workers),
+        "scheduler": scheduler,
+        "started_ts": time.time(),
+    }
+    if run_id is not None:
+        record["run_id"] = run_id
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, FLEET_META_NAME)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")
+    return record
+
+
+def read_fleet_meta(directory: str) -> Dict:
+    """The latest ``fleet_meta`` record, or ``{}`` when none exists.
+
+    Tolerant of a torn tail (``strict=False``): the monitor reads this
+    while the coordinator may still be writing.
+    """
+    path = os.path.join(directory, FLEET_META_NAME)
+    if not os.path.exists(path):
+        return {}
+    records = [
+        r for r in read_jsonl(path) if r.get("type") == "fleet_meta"
+    ]
+    return records[-1] if records else {}
 
 
 # ----------------------------------------------------------------------
@@ -65,8 +115,11 @@ def _summarize_shard(path: str) -> Dict:
     last_resource: Dict = {}
     last_warm: Dict = {}
     failures: Dict[str, int] = {}
+    run_id: Optional[str] = None
     for record in records:
         kind = record.get("type")
+        if run_id is None and record.get("run_id"):
+            run_id = record["run_id"]
         if kind == "worker_meta" and not meta:
             meta = record
         elif kind == "worker_task":
@@ -105,6 +158,7 @@ def _summarize_shard(path: str) -> Dict:
     started = meta.get("started_ts", first_ts)
     return {
         "worker": worker,
+        "run_id": run_id,
         "shard": os.path.basename(path),
         "tasks": tasks,
         "ok": ok,
@@ -139,7 +193,13 @@ def fleet_rollup(directory: str) -> Dict:
     what fraction of worker time was queue wait versus search, which
     worker's RSS peaked highest, and whether throughput was balanced
     (per-worker ``nodes_per_sec`` side by side).
+
+    The fleet dict carries the coordinating run's ``run_id`` (from the
+    coordinator's ``fleet_meta`` record, falling back to the first
+    worker-stamped one), so ``fleet.json`` joins back to the run-ledger
+    entry that requested the batch.
     """
+    meta = read_fleet_meta(directory)
     workers = merge_worker_shards(directory)
     tasks = sum(w["tasks"] for w in workers)
     ok = sum(w["ok"] for w in workers)
@@ -162,7 +222,13 @@ def fleet_rollup(directory: str) -> Dict:
     ends = [w["last_task_ts"] for w in workers if w["last_task_ts"] is not None]
     wall_s = max(ends) - min(starts) if starts and ends else 0.0
     busy = queue_wait_s + run_s
+    run_id = meta.get("run_id") or next(
+        (w["run_id"] for w in workers if w.get("run_id")), None
+    )
     fleet = {
+        "run_id": run_id,
+        "scheduler": meta.get("scheduler"),
+        "total_tasks": meta.get("total_tasks"),
         "workers": len(workers),
         "tasks": tasks,
         "ok": ok,
@@ -375,13 +441,38 @@ def prometheus_name(name: str) -> str:
     return cleaned
 
 
+def _prom_value(value) -> str:
+    """Render a sample value the exposition grammar accepts.
+
+    Python booleans satisfy ``isinstance(value, int)`` and would render
+    as ``True``/``False`` (unparseable); ``None`` (a null min/max from a
+    zero-sample histogram read back from JSON) would render as ``None``.
+    Both are coerced so the output always parses.
+    """
+    if value is None:
+        return "0"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_label(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_line(name: str, value, labels: Optional[Dict[str, str]] = None) -> str:
     if labels:
         rendered = ",".join(
-            f'{key}="{val}"' for key, val in sorted(labels.items())
+            f'{key}="{_escape_label(val)}"'
+            for key, val in sorted(labels.items())
         )
-        return f"{name}{{{rendered}}} {value}"
-    return f"{name} {value}"
+        return f"{name}{{{rendered}}} {_prom_value(value)}"
+    return f"{name} {_prom_value(value)}"
 
 
 def _metrics_to_prom(
@@ -443,7 +534,8 @@ def run_to_prometheus(summary: Dict) -> str:
                 name = prometheus_name(f"profile.{field}")
                 lines.append(f"# TYPE {name} counter")
                 lines.append(_prom_line(name, profile[field]))
-    return "\n".join(lines) + "\n"
+    # An empty registry yields empty exposition, not a lone blank line.
+    return "\n".join(lines) + "\n" if lines else ""
 
 
 #: Per-worker fields exported with a ``worker`` label.
@@ -510,4 +602,4 @@ def fleet_to_prometheus(rollup: Dict) -> str:
                     lines.append(f"# TYPE {name} {kind}")
                     typed.add(name)
                 lines.append(_prom_line(name, worker[field], labels))
-    return "\n".join(lines) + "\n"
+    return "\n".join(lines) + "\n" if lines else ""

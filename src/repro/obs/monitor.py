@@ -1,0 +1,257 @@
+"""``repro top`` — a live monitor for an active fleet run.
+
+Tails a telemetry directory (the ``--telemetry-dir`` of a running
+``map-batch`` / ``corpus`` / mode-2 fan-out) and renders, refreshing in
+place:
+
+* per-worker throughput — tasks done, ok/failed, nodes/sec, last RSS;
+* queue depth — planned total (from the coordinator's ``fleet_meta``
+  record) minus completed ``worker_task`` records;
+* warm-cache hit rate — from each worker's latest cumulative counters;
+* the incumbent-depth timeline — best depth seen so far, as a running
+  minimum over completed tasks' depths.
+
+Everything is read with ``read_jsonl(strict=False)``: the workers are
+*still writing* while we read, so a torn final line is the expected
+steady state, not an error.  The monitor never writes to the directory
+it watches.
+
+The frame renderer (:meth:`FleetMonitor.frame`) is a pure function of
+the directory state, so tests drive it directly; :meth:`FleetMonitor.
+watch` adds the refresh loop and ANSI home-and-clear in-place redraw.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .export import list_shards, read_fleet_meta
+from .sinks import read_jsonl
+
+#: Seconds between refreshes by default.
+DEFAULT_INTERVAL = 1.0
+
+#: ANSI: cursor home + clear-to-end — redraw without scrollback spam.
+_CLEAR = "\x1b[H\x1b[J"
+
+#: Trailing window (seconds) for the "recent" throughput column.
+_RECENT_WINDOW_S = 10.0
+
+#: Max points rendered on the incumbent-depth timeline.
+_TIMELINE_POINTS = 8
+
+
+def _fmt_bytes(value) -> str:
+    if not value:
+        return "-"
+    return f"{float(value) / (1024 * 1024):.0f}MiB"
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value:.1f}" if value < 100 else f"{value:.0f}"
+
+
+class FleetMonitor:
+    """Stateless reader of a fleet telemetry directory."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    # -- data collection ----------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> Dict:
+        """One consistent-enough view of the directory's current state.
+
+        "Enough" because shards are being appended while we read; each
+        shard is internally consistent (single-writer, line-atomic
+        appends) and cross-shard skew of one refresh interval is
+        invisible at human timescales.
+        """
+        now = time.time() if now is None else now
+        meta = read_fleet_meta(self.directory)
+        workers: List[Dict] = []
+        depth_points: List[Tuple[float, int]] = []
+        completed = ok = nodes_total = 0
+        warm_totals: Dict[str, int] = {}
+        run_id = meta.get("run_id")
+        for path in list_shards(self.directory):
+            tasks = succeeded = nodes = 0
+            recent_tasks = 0
+            run_s = 0.0
+            last_rss = None
+            last_warm: Dict = {}
+            last_ts: Optional[float] = None
+            for record in read_jsonl(path):
+                kind = record.get("type")
+                if run_id is None and record.get("run_id"):
+                    run_id = record["run_id"]
+                if kind == "worker_task":
+                    tasks += 1
+                    if record.get("ok"):
+                        succeeded += 1
+                    nodes += int(record.get("nodes_expanded") or 0)
+                    run_s += float(record.get("seconds") or 0.0)
+                    ts = record.get("ts")
+                    if ts is not None:
+                        last_ts = ts
+                        if now - ts <= _RECENT_WINDOW_S:
+                            recent_tasks += 1
+                        depth = record.get("depth")
+                        if depth is not None:
+                            depth_points.append((ts, int(depth)))
+                    rss = record.get("peak_rss_bytes")
+                    if rss:
+                        last_rss = rss
+                    warm = record.get("warm_cache")
+                    if isinstance(warm, dict):
+                        last_warm = warm
+                elif kind == "resource":
+                    rss = record.get("peak_rss_bytes")
+                    if rss:
+                        last_rss = rss
+            completed += tasks
+            ok += succeeded
+            nodes_total += nodes
+            for key, value in last_warm.items():
+                if isinstance(value, (int, float)):
+                    warm_totals[key] = warm_totals.get(key, 0) + value
+            workers.append({
+                "shard": os.path.basename(path),
+                "tasks": tasks,
+                "ok": succeeded,
+                "nodes": nodes,
+                "nodes_per_sec": nodes / run_s if run_s > 0 else 0.0,
+                "recent_tasks": recent_tasks,
+                "last_rss": last_rss,
+                "last_ts": last_ts,
+            })
+        total = meta.get("total_tasks")
+        lookups = (
+            warm_totals.get("problem_hits", 0)
+            + warm_totals.get("problem_misses", 0)
+        )
+        depth_points.sort(key=lambda p: p[0])
+        timeline: List[Tuple[float, int]] = []
+        best: Optional[int] = None
+        for ts, depth in depth_points:
+            if best is None or depth < best:
+                best = depth
+                timeline.append((ts, depth))
+        return {
+            "run_id": run_id,
+            "meta": meta,
+            "workers": workers,
+            "completed": completed,
+            "ok": ok,
+            "nodes": nodes_total,
+            "total_tasks": total,
+            "queue_depth": (
+                max(0, int(total) - completed) if total is not None else None
+            ),
+            "warm_hit_rate": (
+                warm_totals.get("problem_hits", 0) / lookups if lookups else None
+            ),
+            "incumbent_timeline": timeline,
+            "done": total is not None and completed >= int(total),
+        }
+
+    # -- rendering -----------------------------------------------------
+    def frame(self, now: Optional[float] = None) -> str:
+        """Render one monitor frame from the directory's current state."""
+        snap = self.snapshot(now=now)
+        now = time.time() if now is None else now
+        meta = snap["meta"]
+        lines = []
+        title = f"repro top — {self.directory}"
+        if snap["run_id"]:
+            title += f"  run {snap['run_id']}"
+        lines.append(title)
+        started = meta.get("started_ts")
+        total = snap["total_tasks"]
+        status = (
+            f"tasks {snap['completed']}"
+            + (f"/{total}" if total is not None else "")
+            + f"  ok {snap['ok']}  failed {snap['completed'] - snap['ok']}"
+        )
+        if snap["queue_depth"] is not None:
+            status += f"  queue {snap['queue_depth']}"
+        if meta.get("scheduler"):
+            status += f"  scheduler {meta['scheduler']}"
+        if started:
+            status += f"  elapsed {max(0.0, now - float(started)):.1f}s"
+        lines.append(status)
+        warm = snap["warm_hit_rate"]
+        throughput = f"nodes {snap['nodes']}"
+        if warm is not None:
+            throughput += f"  warm-cache hit rate {warm:.1%}"
+        lines.append(throughput)
+        if not snap["workers"]:
+            lines.append("(no worker shards yet)")
+        else:
+            header = (
+                f"{'shard':<24} {'tasks':>5} {'ok':>4} {'nodes':>10} "
+                f"{'nodes/s':>8} {'recent':>6} {'rss':>8} {'idle_s':>6}"
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for w in snap["workers"]:
+                idle = (
+                    f"{max(0.0, now - w['last_ts']):.1f}"
+                    if w["last_ts"] is not None else "-"
+                )
+                lines.append(
+                    f"{w['shard']:<24} {w['tasks']:>5} {w['ok']:>4} "
+                    f"{w['nodes']:>10} {_fmt_rate(w['nodes_per_sec']):>8} "
+                    f"{w['recent_tasks']:>6} {_fmt_bytes(w['last_rss']):>8} "
+                    f"{idle:>6}"
+                )
+        timeline = snap["incumbent_timeline"]
+        if timeline:
+            base = float(started) if started else timeline[0][0]
+            points = timeline[-_TIMELINE_POINTS:]
+            rendered = " > ".join(
+                f"d{depth}@{max(0.0, ts - base):.1f}s" for ts, depth in points
+            )
+            lines.append(f"incumbent: {rendered}")
+        if snap["done"]:
+            lines.append("fleet complete")
+        return "\n".join(lines)
+
+    # -- loop ----------------------------------------------------------
+    def watch(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        iterations: Optional[int] = None,
+        duration: Optional[float] = None,
+        stream=None,
+        clear: Optional[bool] = None,
+    ) -> int:
+        """Refresh the frame until the fleet completes (or limits hit).
+
+        ``iterations`` / ``duration`` bound the loop for scripted use
+        (``repro top --once`` passes ``iterations=1``).  Returns the
+        number of frames rendered.  ``clear`` defaults to "only when the
+        stream is a TTY" so redirected output stays line-oriented.
+        """
+        stream = sys.stdout if stream is None else stream
+        if clear is None:
+            clear = bool(getattr(stream, "isatty", lambda: False)())
+        deadline = (
+            time.monotonic() + duration if duration is not None else None
+        )
+        frames = 0
+        while True:
+            text = self.frame()
+            stream.write((_CLEAR if clear else "") + text + "\n")
+            stream.flush()
+            frames += 1
+            done = text.endswith("fleet complete")
+            if iterations is not None and frames >= iterations:
+                return frames
+            if done:
+                return frames
+            if deadline is not None and time.monotonic() >= deadline:
+                return frames
+            time.sleep(max(0.05, interval))

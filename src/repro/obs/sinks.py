@@ -64,6 +64,12 @@ class JsonlSink(Sink):
     ``emit`` is thread-safe: the resource sampler and profiler threads
     share one sink with the main search thread, so the write+flush pair
     is serialized under a lock (records never interleave mid-line).
+    Each record is also written with a *single* ``write()`` of
+    ``line + "\\n"``: in append mode that rides O_APPEND semantics, so
+    separate processes appending to one file (concurrently-written run
+    ledgers) can interleave only at record boundaries — a reader racing
+    the writer sees at worst a truncated tail, which :func:`read_jsonl`
+    tolerates unless ``strict=True``.
     """
 
     def __init__(self, path: str, append: bool = False) -> None:
@@ -79,8 +85,7 @@ class JsonlSink(Sink):
                 mode = "a" if self._opened_once else "w"
                 self._handle = open(self.path, mode, encoding="utf-8")
                 self._opened_once = True
-            self._handle.write(line)
-            self._handle.write("\n")
+            self._handle.write(line + "\n")
             self._handle.flush()
 
     def close(self) -> None:

@@ -77,6 +77,10 @@ class Telemetry:
             *instrumented* search branch (spans/metrics/progress).  Keep
             the default for span-level telemetry; pass ``False`` to fly
             the flight recorder over the uninstrumented fast path.
+        run_id: Correlation ID stamped onto every progress event and
+            metrics snapshot this handle emits.  Set by the CLI from the
+            run-ledger entry (:mod:`repro.obs.ledger`) so fleet shards,
+            lane events and rollups all name the request they serve.
     """
 
     def __init__(
@@ -92,8 +96,10 @@ class Telemetry:
         profile_interval: float = DEFAULT_PROFILE_INTERVAL,
         profile_collapsed: Optional[str] = None,
         hot_path: bool = True,
+        run_id: Optional[str] = None,
     ) -> None:
         self.enabled = hot_path
+        self.run_id = run_id
         self.sink = sink
         if trace:
             kwargs = {} if max_spans is None else {"max_spans": max_spans}
@@ -169,6 +175,10 @@ class Telemetry:
         if self._finished:
             self.dropped_after_finish += 1
             return
+        if self.run_id is not None:
+            # Stamp the correlation ID before fan-out so subscribers and
+            # the sink record agree on which run the event belongs to.
+            event.extra.setdefault("run_id", self.run_id)
         self.progress.publish(event)
         if self.sink is not None:
             self.sink.emit(event.to_record())
@@ -195,6 +205,8 @@ class Telemetry:
             "label": label,
             "metrics": self.metrics.snapshot(),
         }
+        if self.run_id is not None:
+            record["run_id"] = self.run_id
         if self.sampler is not None:
             record["resources"] = self.sampler.summary()
         if self.profiler is not None:
@@ -271,6 +283,10 @@ class TelemetrySpec:
     resource_interval: float = DEFAULT_RESOURCE_INTERVAL
     profile: bool = False
     profile_interval: float = DEFAULT_PROFILE_INTERVAL
+    #: Correlation ID of the coordinating run (ledger run_id).  Frozen
+    #: into the spec so every worker process stamps it onto its
+    #: ``worker_meta`` / ``worker_task`` records without extra plumbing.
+    run_id: Optional[str] = None
 
     def shard_path(self, worker_id) -> str:
         return os.path.join(self.directory, f"worker-{worker_id}.jsonl")
@@ -285,4 +301,5 @@ class TelemetrySpec:
             profile=self.profile,
             profile_interval=self.profile_interval,
             hot_path=False,
+            run_id=self.run_id,
         )
